@@ -1,0 +1,43 @@
+// Shared helpers for the paper-reproduction benchmark binaries. Each binary
+// regenerates one table or figure of the paper's evaluation section and
+// prints it in a comparable layout.
+#ifndef PQS_BENCH_BENCH_COMMON_H_
+#define PQS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/pqs/campaign.h"
+
+namespace pqs {
+namespace bench {
+
+inline CampaignOptions DefaultCampaignOptions() {
+  CampaignOptions options;
+  options.seed = 20200604;  // OSDI'20 camera-ready vintage
+  options.databases_per_bug = 400;
+  options.queries_per_database = 30;
+  options.reduce = true;
+  return options;
+}
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n=== %s ===\n", title.c_str());
+}
+
+inline const char* DialectDisplayName(Dialect d) {
+  switch (d) {
+    case Dialect::kSqliteFlex:
+      return "SQLite (minidb dialect)";
+    case Dialect::kMysqlLike:
+      return "MySQL (minidb dialect)";
+    case Dialect::kPostgresStrict:
+      return "PostgreSQL (minidb dialect)";
+  }
+  return "?";
+}
+
+}  // namespace bench
+}  // namespace pqs
+
+#endif  // PQS_BENCH_BENCH_COMMON_H_

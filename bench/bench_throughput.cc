@@ -1,0 +1,55 @@
+// §3.4 throughput reproduction: "Typically, SQLancer generates 5,000 to
+// 20,000 statements per second, depending on the DBMS under test."
+//
+// Measures end-to-end PQS statement throughput (generation + execution +
+// oracle checking) per engine, including the real SQLite adapter.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/minidb/database.h"
+#include "src/pqs/runner.h"
+#include "src/sqlite3db/sqlite_connection.h"
+
+namespace pqs {
+
+namespace {
+
+void RunThroughput(benchmark::State& state, EngineFactory factory) {
+  uint64_t statements = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    RunnerOptions opts;
+    opts.seed = seed++;
+    opts.databases = 2;
+    opts.queries_per_database = 20;
+    PqsRunner runner(factory, opts);
+    RunReport report = runner.Run();
+    statements += report.stats.statements_executed;
+  }
+  state.counters["statements_per_second"] = benchmark::Counter(
+      static_cast<double>(statements), benchmark::Counter::kIsRate);
+}
+
+void BM_PqsThroughputMinidb(benchmark::State& state) {
+  Dialect d = static_cast<Dialect>(state.range(0));
+  RunThroughput(state, [d]() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(d);
+  });
+}
+BENCHMARK(BM_PqsThroughputMinidb)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PqsThroughputRealSqlite(benchmark::State& state) {
+  RunThroughput(state, []() -> ConnectionPtr {
+    return std::make_unique<SqliteConnection>();
+  });
+}
+BENCHMARK(BM_PqsThroughputRealSqlite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pqs
+
+BENCHMARK_MAIN();
