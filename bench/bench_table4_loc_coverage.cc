@@ -30,9 +30,16 @@ size_t CountFileLines(const std::string& path) {
   return lines;
 }
 
+// Resolved at build time so the binary works from any CWD (satellite fix:
+// previously this assumed the process ran from the repository root).
+#ifndef PQS_SOURCE_DIR
+#define PQS_SOURCE_DIR "."
+#endif
+
 size_t CountDirLoc(const std::string& dir) {
   size_t total = 0;
-  DIR* d = opendir(dir.c_str());
+  std::string resolved = std::string(PQS_SOURCE_DIR) + "/" + dir;
+  DIR* d = opendir(resolved.c_str());
   if (d == nullptr) {
     return 0;
   }
@@ -40,7 +47,7 @@ size_t CountDirLoc(const std::string& dir) {
     std::string name = entry->d_name;
     if (name.size() > 3 && (name.substr(name.size() - 3) == ".cc" ||
                             name.substr(name.size() - 2) == ".h")) {
-      total += CountFileLines(dir + "/" + name);
+      total += CountFileLines(resolved + "/" + name);
     }
   }
   closedir(d);

@@ -1,0 +1,79 @@
+// Injected-bug identifiers and the per-connection enable set.
+//
+// MiniDB deliberately ships a registry of historical-bug *classes* (modeled
+// on the kinds of defects the PQS paper found in SQLite, MySQL, and
+// PostgreSQL). A BugConfig selects which of them a given engine instance
+// exhibits; the default configuration is a clean engine. The enum lives in
+// the engine-agnostic layer because campaign code and benches name bugs
+// without caring which engine implements them.
+#ifndef PQS_SRC_ENGINE_BUGS_H_
+#define PQS_SRC_ENGINE_BUGS_H_
+
+#include <cstdint>
+
+namespace pqs {
+
+enum class BugId : uint32_t {
+  // --- SQLite-flavored dialect -------------------------------------------
+  // Rows filtered through a partial index are wrongly restricted to the
+  // index predicate when the query contains an IS NOT NULL term (models
+  // SQLite's "partial index used for IS NOT inference" corruption).
+  kPartialIndexIsNotInference = 0,
+  kIndexedOrSkip,          // OR-query over an indexed table drops rows
+  kUniqueNullLost,         // rows with NULL in a UNIQUE column vanish
+  kTextEqInterning,        // multi-char text equality spuriously FALSE
+  kNegIntCompare,          // comparisons against negative literals FALSE
+  kRealTruncCompare,       // REAL operand truncated in mixed comparison
+  kLikeAnchored,           // '%x%' patterns wrongly anchored at the start
+  kNotNullNot,             // NOT NULL evaluates to FALSE instead of NULL
+  kOrTermLimit,            // ≥3 OR terms → spurious optimizer error
+  kConcatNumericError,     // || with a numeric operand → spurious error
+  kBetweenSwapError,       // BETWEEN hi..lo (empty range) → spurious error
+  kDeepExprCrash,          // expression depth ≥6 → simulated SEGFAULT
+
+  // --- MySQL-flavored dialect --------------------------------------------
+  kStrNumCoercionPrefix,   // '12ab' coerces to 0 instead of 12
+  kInListFirstOnly,        // IN (a, b, ...) only checks the first element
+  kJoinPredicatePushdown,  // join rows satisfying a col=col term dropped
+  kUnsignedSubWrap,        // negative subtraction result wraps positive
+  kDivZeroError,           // x / 0 errors instead of yielding NULL
+  kDupInListError,         // duplicate IN-list literal → spurious error
+  kLikeWildcardCrash,      // long '%...%' pattern → simulated SEGFAULT
+
+  // --- PostgreSQL-flavored dialect ---------------------------------------
+  kIsNullArithLost,        // (a+b) IS NULL loses NULL propagation
+  kParallelWorkerError,    // 2-table AND query → "parallel worker" error
+  kNumericOverflowError,   // |arith result| > 50 → spurious overflow
+  kCollationMismatchError, // text col-vs-col compare → collation error
+  kBetweenNullCrash,       // BETWEEN + IS NULL in one query → SEGFAULT
+
+  kNumBugs,
+};
+
+inline constexpr uint32_t kNumBugIds = static_cast<uint32_t>(BugId::kNumBugs);
+
+class BugConfig {
+ public:
+  BugConfig() = default;
+
+  static BugConfig Single(BugId id) {
+    BugConfig config;
+    config.Enable(id);
+    return config;
+  }
+
+  void Enable(BugId id) { mask_ |= Bit(id); }
+  void Disable(BugId id) { mask_ &= ~Bit(id); }
+  bool enabled(BugId id) const { return (mask_ & Bit(id)) != 0; }
+  bool any() const { return mask_ != 0; }
+
+ private:
+  static uint32_t Bit(BugId id) { return 1u << static_cast<uint32_t>(id); }
+  uint32_t mask_ = 0;
+};
+
+static_assert(kNumBugIds <= 32, "BugConfig mask is 32 bits wide");
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_ENGINE_BUGS_H_

@@ -1,0 +1,17 @@
+#include "src/engine/connection.h"
+
+namespace pqs {
+
+const char* DialectName(Dialect d) {
+  switch (d) {
+    case Dialect::kSqliteFlex:
+      return "sqlite";
+    case Dialect::kMysqlLike:
+      return "mysql";
+    case Dialect::kPostgresStrict:
+      return "postgres";
+  }
+  return "?";
+}
+
+}  // namespace pqs

@@ -1,0 +1,90 @@
+// The engine-agnostic core API the PQS runner codes against.
+//
+// Everything above this line of the stack (runner, oracles, reducer,
+// campaign, benches) talks to a database exclusively through Connection:
+// submit one typed AST statement, get back a typed result set plus an
+// error/crash status. Everything below it (MiniDB, the real-SQLite adapter,
+// future sharded/async/remote backends) implements it. Keeping this surface
+// narrow is what lets later work swap engines without touching the runner.
+#ifndef PQS_SRC_ENGINE_CONNECTION_H_
+#define PQS_SRC_ENGINE_CONNECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sqlast/ast.h"
+#include "src/sqlvalue/value.h"
+
+namespace pqs {
+
+// SQL semantics flavor an engine implements. MiniDB implements all three;
+// the libsqlite3 adapter is kSqliteFlex by construction.
+enum class Dialect {
+  kSqliteFlex = 0,      // flexible typing, affinity coercion on insert
+  kMysqlLike = 1,       // numeric coercion of text, div-by-zero → NULL
+  kPostgresStrict = 2,  // strict typing, type mismatches are errors
+};
+
+enum class StatementStatus {
+  kOk,
+  // The statement violated a declared constraint (UNIQUE / PRIMARY KEY /
+  // NOT NULL). This is an *expected* failure mode for randomly generated
+  // inserts; the error oracle does not fire on it.
+  kConstraintViolation,
+  // The engine rejected or failed a statement the generator guarantees to
+  // be valid — the error oracle's signal.
+  kError,
+  // Simulated (MiniDB) or real (adapter) process death. The connection is
+  // unusable afterwards.
+  kCrash,
+  // The engine cannot run this statement at all (e.g. the SQLite adapter
+  // compiled without libsqlite3). Not a finding; the runner skips out.
+  kUnsupported,
+};
+
+struct StatementResult {
+  StatementStatus status = StatementStatus::kOk;
+  std::string error;  // diagnostic when status != kOk
+  std::vector<std::string> column_names;
+  std::vector<std::vector<SqlValue>> rows;
+
+  bool ok() const { return status == StatementStatus::kOk; }
+
+  static StatementResult Ok() { return StatementResult(); }
+  static StatementResult Failure(StatementStatus s, std::string message) {
+    StatementResult out;
+    out.status = s;
+    out.error = std::move(message);
+    return out;
+  }
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Executes one statement. Never throws; failures are reported through
+  // StatementResult::status.
+  virtual StatementResult Execute(const Stmt& stmt) = 0;
+
+  virtual Dialect dialect() const = 0;
+  virtual std::string EngineName() const = 0;
+
+  // False once the engine has crashed; Execute returns kCrash from then on.
+  virtual bool alive() const { return true; }
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+// Factory producing a fresh, empty database. The runner creates one
+// connection per generated database state, so factories must be cheap and
+// must not share mutable state between the connections they produce.
+using EngineFactory = std::function<ConnectionPtr()>;
+
+const char* DialectName(Dialect d);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_ENGINE_CONNECTION_H_

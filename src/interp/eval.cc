@@ -1,0 +1,489 @@
+#include "src/interp/eval.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace pqs {
+
+namespace {
+
+bool TextEqualsFold(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int TextCompareFold(const std::string& a, const std::string& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+// Numeric coercion in arithmetic position: SQLite and MySQL both take the
+// numeric prefix of text ('12ab' → 12, 'x' → 0). An integer-looking prefix
+// yields an INTEGER — that keeps '12'/5 doing integer division exactly
+// like real SQLite.
+SqlValue ArithValue(const SqlValue& v) {
+  if (v.is_numeric()) return v;
+  const char* begin = v.t.c_str();
+  char* int_end = nullptr;
+  long long as_int = strtoll(begin, &int_end, 10);
+  char* real_end = nullptr;
+  double as_real = strtod(begin, &real_end);
+  if (real_end == begin) return SqlValue::Int(0);
+  if (int_end == real_end) return SqlValue::Int(as_int);
+  return SqlValue::Real(as_real);
+}
+
+double ArithOperand(const SqlValue& v) { return ArithValue(v).AsReal(); }
+
+std::string ConcatOperand(const SqlValue& v) { return v.ToDisplay(); }
+
+bool IsNegativeIntLiteral(const Expr& e) {
+  return e.kind == ExprKind::kLiteral &&
+         e.literal.cls == StorageClass::kInteger && e.literal.i < 0;
+}
+
+// Three-valued comparison honoring dialect coercion rules. The raw Expr
+// operands (nullable for synthetic comparisons inside IN/BETWEEN) are
+// passed alongside the values because several injected bug classes trigger
+// on the *shape* of the comparison, not just the values.
+EvalResult Compare(BinaryOp op, const Expr* lhs, const Expr* rhs,
+                   const SqlValue& a, const SqlValue& b,
+                   const EvalContext& ctx) {
+  if (ctx.BugEnabled(BugId::kNegIntCompare) &&
+      ((lhs != nullptr && IsNegativeIntLiteral(*lhs)) ||
+       (rhs != nullptr && IsNegativeIntLiteral(*rhs)))) {
+    return EvalResult::Of(SqlValue::Bool(false));
+  }
+  if (ctx.BugEnabled(BugId::kCollationMismatchError) && lhs != nullptr &&
+      rhs != nullptr && lhs->kind == ExprKind::kColumnRef &&
+      rhs->kind == ExprKind::kColumnRef &&
+      a.cls == StorageClass::kText && b.cls == StorageClass::kText) {
+    return EvalResult::Error("could not determine collation for comparison");
+  }
+  if (a.is_null() || b.is_null()) return EvalResult::Of(SqlValue::Null());
+
+  int cmp = 0;
+  if (a.is_numeric() && b.is_numeric()) {
+    double da = a.AsReal();
+    double db = b.AsReal();
+    if (ctx.BugEnabled(BugId::kRealTruncCompare) &&
+        (a.cls == StorageClass::kReal) != (b.cls == StorageClass::kReal)) {
+      da = std::trunc(da);
+      db = std::trunc(db);
+    }
+    cmp = da < db ? -1 : (da > db ? 1 : 0);
+  } else if (a.cls == StorageClass::kText && b.cls == StorageClass::kText) {
+    if (ctx.dialect == Dialect::kMysqlLike) {
+      // MySQL's default collation is case-insensitive; that IS the
+      // documented quirk of the kMysqlLike dialect.
+      cmp = TextCompareFold(a.t, b.t);
+    } else {
+      cmp = a.t.compare(b.t);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    if (op == BinaryOp::kEq && cmp == 0 && a.t.size() > 1 &&
+        ctx.BugEnabled(BugId::kTextEqInterning)) {
+      return EvalResult::Of(SqlValue::Bool(false));
+    }
+  } else {
+    // Mixed numeric/text.
+    switch (ctx.dialect) {
+      case Dialect::kSqliteFlex:
+        // Storage-class ordering: numerics sort before text.
+        cmp = ValueCompare(a, b);
+        break;
+      case Dialect::kMysqlLike: {
+        double da;
+        double db;
+        if (a.is_numeric()) {
+          da = a.AsReal();
+          db = ctx.BugEnabled(BugId::kStrNumCoercionPrefix)
+                   ? 0.0
+                   : ParseNumericPrefix(b.t);
+        } else {
+          da = ctx.BugEnabled(BugId::kStrNumCoercionPrefix)
+                   ? 0.0
+                   : ParseNumericPrefix(a.t);
+          db = b.AsReal();
+        }
+        cmp = da < db ? -1 : (da > db ? 1 : 0);
+        break;
+      }
+      case Dialect::kPostgresStrict:
+        return EvalResult::Error("operator does not exist: mixed-type "
+                                 "comparison");
+    }
+  }
+
+  bool truth = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      truth = cmp == 0;
+      break;
+    case BinaryOp::kNe:
+      truth = cmp != 0;
+      break;
+    case BinaryOp::kLt:
+      truth = cmp < 0;
+      break;
+    case BinaryOp::kLe:
+      truth = cmp <= 0;
+      break;
+    case BinaryOp::kGt:
+      truth = cmp > 0;
+      break;
+    case BinaryOp::kGe:
+      truth = cmp >= 0;
+      break;
+    default:
+      return EvalResult::Error("not a comparison");
+  }
+  return EvalResult::Of(SqlValue::Bool(truth));
+}
+
+EvalResult Arithmetic(const Expr& node, const SqlValue& a, const SqlValue& b,
+                      const EvalContext& ctx) {
+  if (ctx.dialect == Dialect::kPostgresStrict &&
+      (a.cls == StorageClass::kText || b.cls == StorageClass::kText)) {
+    return EvalResult::Error("operator does not exist: arithmetic on text");
+  }
+  if (a.is_null() || b.is_null()) return EvalResult::Of(SqlValue::Null());
+
+  BinaryOp op = node.bop;
+  SqlValue ca = ArithValue(a);
+  SqlValue cb = ArithValue(b);
+  bool int_math = ca.cls == StorageClass::kInteger &&
+                  cb.cls == StorageClass::kInteger;
+  if (op == BinaryOp::kDiv) {
+    double divisor = cb.AsReal();
+    if (divisor == 0.0) {
+      if (ctx.BugEnabled(BugId::kDivZeroError)) {
+        return EvalResult::Error("division by zero (spurious)");
+      }
+      if (ctx.dialect == Dialect::kPostgresStrict) {
+        return EvalResult::Error("division by zero");
+      }
+      return EvalResult::Of(SqlValue::Null());
+    }
+    if (int_math) {
+      // Integer division truncates toward zero in all three dialects.
+      return EvalResult::Of(SqlValue::Int(ca.i / cb.i));
+    }
+    return EvalResult::Of(SqlValue::Real(ca.AsReal() / divisor));
+  }
+
+  SqlValue result;
+  if (int_math) {
+    uint64_t ua = static_cast<uint64_t>(ca.i);
+    uint64_t ub = static_cast<uint64_t>(cb.i);
+    uint64_t ur = 0;
+    switch (op) {
+      case BinaryOp::kAdd:
+        ur = ua + ub;
+        break;
+      case BinaryOp::kSub:
+        ur = ua - ub;
+        break;
+      case BinaryOp::kMul:
+        ur = ua * ub;
+        break;
+      default:
+        return EvalResult::Error("not arithmetic");
+    }
+    int64_t sr = static_cast<int64_t>(ur);
+    if (op == BinaryOp::kSub && sr < 0 &&
+        ctx.BugEnabled(BugId::kUnsignedSubWrap)) {
+      // Models an unsigned-subtraction wraparound: the negative result comes
+      // back as a huge positive value.
+      result = SqlValue::Real(18446744073709551616.0 +
+                              static_cast<double>(sr));
+    } else {
+      result = SqlValue::Int(sr);
+    }
+  } else {
+    double da = ca.AsReal();
+    double db = cb.AsReal();
+    double dr = 0;
+    switch (op) {
+      case BinaryOp::kAdd:
+        dr = da + db;
+        break;
+      case BinaryOp::kSub:
+        dr = da - db;
+        break;
+      case BinaryOp::kMul:
+        dr = da * db;
+        break;
+      default:
+        return EvalResult::Error("not arithmetic");
+    }
+    result = SqlValue::Real(dr);
+  }
+
+  if (ctx.BugEnabled(BugId::kNumericOverflowError) &&
+      std::fabs(result.AsReal()) > 50.0) {
+    return EvalResult::Error("numeric value out of range (spurious)");
+  }
+  return EvalResult::Of(std::move(result));
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               bool case_insensitive) {
+  // Iterative glob matcher with backtracking over the last '%'.
+  size_t ti = 0;
+  size_t pi = 0;
+  size_t star_pi = std::string::npos;
+  size_t star_ti = 0;
+  auto norm = [&](char c) {
+    return case_insensitive
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : c;
+  };
+  while (ti < text.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || norm(pattern[pi]) == norm(text[ti]))) {
+      ++ti;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_ti = ti;
+    } else if (star_pi != std::string::npos) {
+      pi = star_pi + 1;
+      ti = ++star_ti;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+Bool3 Truthiness(const SqlValue& v, Dialect dialect) {
+  (void)dialect;  // all three dialects agree on WHERE truthiness here
+  switch (v.cls) {
+    case StorageClass::kNull:
+      return Bool3::kNull;
+    case StorageClass::kInteger:
+      return v.i != 0 ? Bool3::kTrue : Bool3::kFalse;
+    case StorageClass::kReal:
+      return v.r != 0.0 ? Bool3::kTrue : Bool3::kFalse;
+    case StorageClass::kText:
+      return ParseNumericPrefix(v.t) != 0.0 ? Bool3::kTrue : Bool3::kFalse;
+  }
+  return Bool3::kNull;
+}
+
+EvalResult Evaluate(const Expr& expr, const RowView& row,
+                    const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return EvalResult::Of(expr.literal);
+
+    case ExprKind::kColumnRef: {
+      if (row.schema == nullptr || row.values == nullptr) {
+        return EvalResult::Error("column reference outside a row context");
+      }
+      int idx = row.schema->IndexOf(expr.table, expr.column);
+      if (idx < 0) {
+        return EvalResult::Error("no such column: " + expr.column);
+      }
+      return EvalResult::Of((*row.values)[static_cast<size_t>(idx)]);
+    }
+
+    case ExprKind::kUnary: {
+      EvalResult operand = Evaluate(*expr.args[0], row, ctx);
+      if (operand.error) return operand;
+      if (expr.uop == UnaryOp::kNot) {
+        Bool3 b = Truthiness(operand.value, ctx.dialect);
+        if (b == Bool3::kNull && ctx.BugEnabled(BugId::kNotNullNot)) {
+          return EvalResult::Of(SqlValue::Bool(false));
+        }
+        return EvalResult::Of(SqlValue::FromBool3(Not3(b)));
+      }
+      // Unary minus.
+      const SqlValue& v = operand.value;
+      if (v.is_null()) return EvalResult::Of(SqlValue::Null());
+      if (v.cls == StorageClass::kInteger) {
+        return EvalResult::Of(SqlValue::Int(-v.i));
+      }
+      if (v.cls == StorageClass::kReal) {
+        return EvalResult::Of(SqlValue::Real(-v.r));
+      }
+      if (ctx.dialect == Dialect::kPostgresStrict) {
+        return EvalResult::Error("operator does not exist: -text");
+      }
+      return EvalResult::Of(SqlValue::Real(-ParseNumericPrefix(v.t)));
+    }
+
+    case ExprKind::kBinary: {
+      if (expr.bop == BinaryOp::kAnd || expr.bop == BinaryOp::kOr) {
+        EvalResult lhs = Evaluate(*expr.args[0], row, ctx);
+        if (lhs.error) return lhs;
+        EvalResult rhs = Evaluate(*expr.args[1], row, ctx);
+        if (rhs.error) return rhs;
+        Bool3 a = Truthiness(lhs.value, ctx.dialect);
+        Bool3 b = Truthiness(rhs.value, ctx.dialect);
+        Bool3 r = expr.bop == BinaryOp::kAnd ? And3(a, b) : Or3(a, b);
+        return EvalResult::Of(SqlValue::FromBool3(r));
+      }
+      EvalResult lhs = Evaluate(*expr.args[0], row, ctx);
+      if (lhs.error) return lhs;
+      EvalResult rhs = Evaluate(*expr.args[1], row, ctx);
+      if (rhs.error) return rhs;
+      if (IsComparisonOp(expr.bop)) {
+        return Compare(expr.bop, expr.args[0].get(), expr.args[1].get(),
+                       lhs.value, rhs.value, ctx);
+      }
+      if (IsArithmeticOp(expr.bop)) {
+        return Arithmetic(expr, lhs.value, rhs.value, ctx);
+      }
+      // Concat.
+      if (ctx.BugEnabled(BugId::kConcatNumericError) &&
+          (lhs.value.is_numeric() || rhs.value.is_numeric())) {
+        return EvalResult::Error("cannot concatenate non-text operand "
+                                 "(spurious)");
+      }
+      if (ctx.dialect == Dialect::kPostgresStrict &&
+          ((lhs.value.is_numeric()) || (rhs.value.is_numeric()))) {
+        return EvalResult::Error("operator does not exist: || with non-text");
+      }
+      if (lhs.value.is_null() || rhs.value.is_null()) {
+        return EvalResult::Of(SqlValue::Null());
+      }
+      return EvalResult::Of(SqlValue::Text(ConcatOperand(lhs.value) +
+                                           ConcatOperand(rhs.value)));
+    }
+
+    case ExprKind::kIsNull: {
+      if (ctx.BugEnabled(BugId::kIsNullArithLost) &&
+          expr.args[0]->kind == ExprKind::kBinary &&
+          IsArithmeticOp(expr.args[0]->bop)) {
+        // NULL propagation through arithmetic is lost: IS NULL → FALSE,
+        // IS NOT NULL → TRUE, regardless of the operand.
+        return EvalResult::Of(SqlValue::Bool(expr.negated));
+      }
+      EvalResult operand = Evaluate(*expr.args[0], row, ctx);
+      if (operand.error) return operand;
+      bool is_null = operand.value.is_null();
+      return EvalResult::Of(SqlValue::Bool(is_null != expr.negated));
+    }
+
+    case ExprKind::kInList: {
+      if (ctx.BugEnabled(BugId::kDupInListError)) {
+        for (size_t i = 1; i < expr.args.size(); ++i) {
+          for (size_t j = i + 1; j < expr.args.size(); ++j) {
+            if (expr.args[i]->kind == ExprKind::kLiteral &&
+                expr.args[j]->kind == ExprKind::kLiteral &&
+                ValueEquals(expr.args[i]->literal, expr.args[j]->literal)) {
+              return EvalResult::Error("duplicate value in IN list "
+                                       "(spurious)");
+            }
+          }
+        }
+      }
+      EvalResult probe = Evaluate(*expr.args[0], row, ctx);
+      if (probe.error) return probe;
+      if (probe.value.is_null()) return EvalResult::Of(SqlValue::Null());
+      size_t limit = expr.args.size();
+      if (ctx.BugEnabled(BugId::kInListFirstOnly) && limit > 2) limit = 2;
+      bool saw_null = false;
+      for (size_t i = 1; i < limit; ++i) {
+        EvalResult item = Evaluate(*expr.args[i], row, ctx);
+        if (item.error) return item;
+        EvalResult eq = Compare(BinaryOp::kEq, expr.args[0].get(),
+                                expr.args[i].get(), probe.value, item.value,
+                                ctx);
+        if (eq.error) return eq;
+        Bool3 b = Truthiness(eq.value, ctx.dialect);
+        if (b == Bool3::kTrue) {
+          return EvalResult::Of(SqlValue::Bool(!expr.negated));
+        }
+        if (b == Bool3::kNull) saw_null = true;
+      }
+      if (saw_null) return EvalResult::Of(SqlValue::Null());
+      return EvalResult::Of(SqlValue::Bool(expr.negated));
+    }
+
+    case ExprKind::kBetween: {
+      if (ctx.BugEnabled(BugId::kBetweenSwapError) &&
+          expr.args[1]->kind == ExprKind::kLiteral &&
+          expr.args[2]->kind == ExprKind::kLiteral &&
+          !expr.args[1]->literal.is_null() &&
+          !expr.args[2]->literal.is_null() &&
+          ValueCompare(expr.args[1]->literal, expr.args[2]->literal) > 0) {
+        return EvalResult::Error("BETWEEN range bounds inverted (spurious)");
+      }
+      EvalResult v = Evaluate(*expr.args[0], row, ctx);
+      if (v.error) return v;
+      EvalResult lo = Evaluate(*expr.args[1], row, ctx);
+      if (lo.error) return lo;
+      EvalResult hi = Evaluate(*expr.args[2], row, ctx);
+      if (hi.error) return hi;
+      EvalResult above = Compare(BinaryOp::kGe, expr.args[0].get(),
+                                 expr.args[1].get(), v.value, lo.value, ctx);
+      if (above.error) return above;
+      EvalResult below = Compare(BinaryOp::kLe, expr.args[0].get(),
+                                 expr.args[2].get(), v.value, hi.value, ctx);
+      if (below.error) return below;
+      Bool3 r = And3(Truthiness(above.value, ctx.dialect),
+                     Truthiness(below.value, ctx.dialect));
+      if (expr.negated) r = Not3(r);
+      return EvalResult::Of(SqlValue::FromBool3(r));
+    }
+
+    case ExprKind::kLike: {
+      EvalResult v = Evaluate(*expr.args[0], row, ctx);
+      if (v.error) return v;
+      EvalResult p = Evaluate(*expr.args[1], row, ctx);
+      if (p.error) return p;
+      if (v.value.is_null() || p.value.is_null()) {
+        return EvalResult::Of(SqlValue::Null());
+      }
+      if (ctx.dialect == Dialect::kPostgresStrict &&
+          (v.value.cls != StorageClass::kText ||
+           p.value.cls != StorageClass::kText)) {
+        return EvalResult::Error("operator does not exist: LIKE on non-text");
+      }
+      std::string text = ConcatOperand(v.value);
+      std::string pattern = ConcatOperand(p.value);
+      if (ctx.BugEnabled(BugId::kLikeAnchored) && !pattern.empty() &&
+          pattern.front() == '%') {
+        pattern.erase(pattern.begin());
+      }
+      bool fold = ctx.dialect != Dialect::kPostgresStrict;
+      bool match = LikeMatch(text, pattern, fold);
+      return EvalResult::Of(SqlValue::Bool(match != expr.negated));
+    }
+  }
+  return EvalResult::Error("unknown expression kind");
+}
+
+Bool3 EvaluatePredicate(const Expr& expr, const RowView& row,
+                        const EvalContext& ctx, bool* error) {
+  EvalResult r = Evaluate(expr, row, ctx);
+  if (r.error) {
+    if (error != nullptr) *error = true;
+    return Bool3::kNull;
+  }
+  if (error != nullptr) *error = false;
+  return Truthiness(r.value, ctx.dialect);
+}
+
+}  // namespace pqs

@@ -1,0 +1,88 @@
+// Dialect-aware three-valued expression interpreter.
+//
+// This is the single implementation of expression semantics in the
+// repository: MiniDB filters rows with it, and the PQS runner uses it (with
+// a clean configuration) to evaluate and rectify predicates on the pivot
+// row. Sharing the code is what makes the containment oracle sound on a
+// clean engine — any divergence an oracle observes is, by construction, an
+// injected bug or a real-engine discrepancy, never interpreter drift.
+//
+// Injected bug classes that corrupt *expression evaluation* hook in here,
+// gated on EvalContext::bugs; scan-level and statement-level bugs live in
+// the MiniDB engine itself.
+#ifndef PQS_SRC_INTERP_EVAL_H_
+#define PQS_SRC_INTERP_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/bugs.h"
+#include "src/engine/connection.h"
+#include "src/sqlast/ast.h"
+#include "src/sqlvalue/value.h"
+
+namespace pqs {
+
+// Flattened schema of a (possibly joined) row: qualified column names in
+// projection order.
+struct RowSchema {
+  std::vector<std::pair<std::string, std::string>> cols;  // (table, column)
+
+  int IndexOf(const std::string& table, const std::string& column) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].second != column) continue;
+      if (table.empty() || cols[i].first == table) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+struct RowView {
+  const RowSchema* schema = nullptr;
+  const std::vector<SqlValue>* values = nullptr;
+};
+
+struct EvalContext {
+  Dialect dialect = Dialect::kSqliteFlex;
+  // Null or empty ⇒ reference semantics (the ground truth the runner uses).
+  const BugConfig* bugs = nullptr;
+
+  bool BugEnabled(BugId id) const { return bugs != nullptr && bugs->enabled(id); }
+};
+
+struct EvalResult {
+  SqlValue value;
+  bool error = false;
+  std::string message;
+
+  static EvalResult Of(SqlValue v) {
+    EvalResult out;
+    out.value = std::move(v);
+    return out;
+  }
+  static EvalResult Error(std::string msg) {
+    EvalResult out;
+    out.error = true;
+    out.message = std::move(msg);
+    return out;
+  }
+};
+
+EvalResult Evaluate(const Expr& expr, const RowView& row,
+                    const EvalContext& ctx);
+
+// Truthiness of a value in WHERE position for the given dialect.
+Bool3 Truthiness(const SqlValue& v, Dialect dialect);
+
+// Convenience: evaluate an expression as a predicate. Sets *error on
+// evaluation failure (in which case the Bool3 is kNull).
+Bool3 EvaluatePredicate(const Expr& expr, const RowView& row,
+                        const EvalContext& ctx, bool* error);
+
+// SQL LIKE with % and _ wildcards. Exposed for tests.
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               bool case_insensitive);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_INTERP_EVAL_H_

@@ -1,0 +1,98 @@
+#include "src/minidb/bug_registry.h"
+
+namespace pqs {
+namespace minidb {
+
+namespace {
+
+// The distribution across dialects and oracles deliberately mirrors the
+// paper's findings: the SQLite component found by far the most bugs, the
+// containment oracle dominates overall, and the PostgreSQL findings skew
+// toward the error oracle (Tables 2 and 3).
+const std::vector<BugInfo>& BuildRegistry() {
+  static const std::vector<BugInfo> registry = {
+      // SQLite-flavored dialect: 8 containment, 3 error, 1 crash.
+      {BugId::kPartialIndexIsNotInference, "partial-index-is-not-inference",
+       Dialect::kSqliteFlex, OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kIndexedOrSkip, "indexed-or-skip", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kUniqueNullLost, "unique-null-lost", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kTextEqInterning, "text-eq-interning", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kNegIntCompare, "neg-int-compare", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kRealTruncCompare, "real-trunc-compare", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kLikeAnchored, "like-anchored", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kNotNullNot, "not-null-not", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kOrTermLimit, "or-term-limit", Dialect::kSqliteFlex,
+       OracleKind::kError, ReportOutcome::kFixed},
+      {BugId::kConcatNumericError, "concat-numeric-error",
+       Dialect::kSqliteFlex, OracleKind::kError, ReportOutcome::kFixed},
+      {BugId::kBetweenSwapError, "between-swap-error", Dialect::kSqliteFlex,
+       OracleKind::kError, ReportOutcome::kIntended},
+      {BugId::kDeepExprCrash, "deep-expr-crash", Dialect::kSqliteFlex,
+       OracleKind::kCrash, ReportOutcome::kDuplicate},
+
+      // MySQL-flavored dialect: 4 containment, 2 error, 1 crash.
+      {BugId::kStrNumCoercionPrefix, "str-num-coercion-prefix",
+       Dialect::kMysqlLike, OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kInListFirstOnly, "in-list-first-only", Dialect::kMysqlLike,
+       OracleKind::kContainment, ReportOutcome::kVerified},
+      {BugId::kJoinPredicatePushdown, "join-predicate-pushdown",
+       Dialect::kMysqlLike, OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kUnsignedSubWrap, "unsigned-sub-wrap", Dialect::kMysqlLike,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kDivZeroError, "div-zero-error", Dialect::kMysqlLike,
+       OracleKind::kError, ReportOutcome::kVerified},
+      {BugId::kDupInListError, "dup-in-list-error", Dialect::kMysqlLike,
+       OracleKind::kError, ReportOutcome::kIntended},
+      {BugId::kLikeWildcardCrash, "like-wildcard-crash", Dialect::kMysqlLike,
+       OracleKind::kCrash, ReportOutcome::kDuplicate},
+
+      // PostgreSQL-flavored dialect: 1 containment, 3 error, 1 crash.
+      {BugId::kIsNullArithLost, "is-null-arith-lost",
+       Dialect::kPostgresStrict, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kParallelWorkerError, "parallel-worker-error",
+       Dialect::kPostgresStrict, OracleKind::kError,
+       ReportOutcome::kVerified},
+      {BugId::kNumericOverflowError, "numeric-overflow-error",
+       Dialect::kPostgresStrict, OracleKind::kError,
+       ReportOutcome::kIntended},
+      {BugId::kCollationMismatchError, "collation-mismatch-error",
+       Dialect::kPostgresStrict, OracleKind::kError,
+       ReportOutcome::kIntended},
+      {BugId::kBetweenNullCrash, "between-null-crash",
+       Dialect::kPostgresStrict, OracleKind::kCrash,
+       ReportOutcome::kDuplicate},
+  };
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<BugInfo>& BugRegistry() { return BuildRegistry(); }
+
+const BugInfo& LookupBug(BugId id) {
+  for (const BugInfo& info : BugRegistry()) {
+    if (info.id == id) return info;
+  }
+  // BugId values not in the registry are a programming error; returning the
+  // first entry keeps this function total without exceptions.
+  return BugRegistry().front();
+}
+
+std::vector<BugInfo> BugsForDialect(Dialect dialect) {
+  std::vector<BugInfo> out;
+  for (const BugInfo& info : BugRegistry()) {
+    if (info.dialect == dialect) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace minidb
+}  // namespace pqs

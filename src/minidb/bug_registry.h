@@ -1,0 +1,43 @@
+// Metadata registry of MiniDB's injected bug classes.
+//
+// Each entry models one *class* of real-world bug from the PQS paper's
+// study: which dialect exhibits it, which oracle is expected to catch it,
+// and how the upstream report was resolved (Table 2's Fixed / Verified /
+// Intended / Duplicate columns). The campaign layer iterates this table;
+// the behaviors themselves are implemented in the engine and evaluator,
+// keyed by BugId.
+#ifndef PQS_SRC_MINIDB_BUG_REGISTRY_H_
+#define PQS_SRC_MINIDB_BUG_REGISTRY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/engine/bugs.h"
+#include "src/engine/connection.h"
+#include "src/pqs/campaign.h"
+#include "src/pqs/oracles.h"
+
+namespace pqs {
+namespace minidb {
+
+struct BugInfo {
+  BugId id;
+  const char* name;
+  Dialect dialect;          // dialect flavor exhibiting the bug
+  OracleKind oracle;        // oracle expected to catch it
+  ReportOutcome outcome;    // modeled report resolution
+};
+
+// All registered bugs, in BugId order.
+const std::vector<BugInfo>& BugRegistry();
+
+// Entry for one bug (must exist).
+const BugInfo& LookupBug(BugId id);
+
+// Registered bugs exhibited by the given dialect.
+std::vector<BugInfo> BugsForDialect(Dialect dialect);
+
+}  // namespace minidb
+}  // namespace pqs
+
+#endif  // PQS_SRC_MINIDB_BUG_REGISTRY_H_

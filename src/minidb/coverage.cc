@@ -1,0 +1,51 @@
+#include "src/minidb/coverage.h"
+
+namespace pqs {
+namespace minidb {
+
+const char* FeatureName(Feature f) {
+  switch (f) {
+    case Feature::kCreateTable: return "create-table";
+    case Feature::kColumnInteger: return "column-integer";
+    case Feature::kColumnReal: return "column-real";
+    case Feature::kColumnText: return "column-text";
+    case Feature::kConstraintUnique: return "constraint-unique";
+    case Feature::kConstraintPrimaryKey: return "constraint-primary-key";
+    case Feature::kConstraintNotNull: return "constraint-not-null";
+    case Feature::kCreateIndex: return "create-index";
+    case Feature::kUniqueIndex: return "unique-index";
+    case Feature::kPartialIndex: return "partial-index";
+    case Feature::kInsert: return "insert";
+    case Feature::kMultiRowInsert: return "multi-row-insert";
+    case Feature::kInsertNullValue: return "insert-null-value";
+    case Feature::kInsertAffinityCoercion: return "insert-affinity-coercion";
+    case Feature::kConstraintViolationRejected:
+      return "constraint-violation-rejected";
+    case Feature::kSelect: return "select";
+    case Feature::kSelectWhere: return "select-where";
+    case Feature::kSelectJoin: return "select-join";
+    case Feature::kSelectProjection: return "select-projection";
+    case Feature::kRowMatched: return "row-matched";
+    case Feature::kRowFiltered: return "row-filtered";
+    case Feature::kExprColumnRef: return "expr-column-ref";
+    case Feature::kExprComparison: return "expr-comparison";
+    case Feature::kExprLogicalAnd: return "expr-logical-and";
+    case Feature::kExprLogicalOr: return "expr-logical-or";
+    case Feature::kExprNot: return "expr-not";
+    case Feature::kExprArithmetic: return "expr-arithmetic";
+    case Feature::kExprDivision: return "expr-division";
+    case Feature::kExprConcat: return "expr-concat";
+    case Feature::kExprIsNull: return "expr-is-null";
+    case Feature::kExprInList: return "expr-in-list";
+    case Feature::kExprBetween: return "expr-between";
+    case Feature::kExprLike: return "expr-like";
+    case Feature::kNullComparison: return "null-comparison";
+    case Feature::kCrossTypeComparison: return "cross-type-comparison";
+    case Feature::kStatementError: return "statement-error";
+    case Feature::kFeatureCount: break;
+  }
+  return "?";
+}
+
+}  // namespace minidb
+}  // namespace pqs

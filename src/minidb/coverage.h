@@ -1,0 +1,101 @@
+// MiniDB feature-coverage tracking.
+//
+// The paper reports gcov line coverage of the tested DBMS after a PQS run
+// (Table 4). gcov of a third-party binary is unavailable offline, so MiniDB
+// instruments itself at feature granularity instead: every structurally
+// distinct engine behavior a statement exercises marks one Feature. A
+// CoverageMap accumulates hit counts; bench_table4 merges the maps of every
+// connection in a session to report "features covered / total".
+#ifndef PQS_SRC_MINIDB_COVERAGE_H_
+#define PQS_SRC_MINIDB_COVERAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pqs {
+namespace minidb {
+
+enum class Feature : size_t {
+  kCreateTable = 0,
+  kColumnInteger,
+  kColumnReal,
+  kColumnText,
+  kConstraintUnique,
+  kConstraintPrimaryKey,
+  kConstraintNotNull,
+  kCreateIndex,
+  kUniqueIndex,
+  kPartialIndex,
+  kInsert,
+  kMultiRowInsert,
+  kInsertNullValue,
+  kInsertAffinityCoercion,
+  kConstraintViolationRejected,
+  kSelect,
+  kSelectWhere,
+  kSelectJoin,
+  kSelectProjection,
+  kRowMatched,
+  kRowFiltered,
+  kExprColumnRef,
+  kExprComparison,
+  kExprLogicalAnd,
+  kExprLogicalOr,
+  kExprNot,
+  kExprArithmetic,
+  kExprDivision,
+  kExprConcat,
+  kExprIsNull,
+  kExprInList,
+  kExprBetween,
+  kExprLike,
+  kNullComparison,
+  kCrossTypeComparison,
+  kStatementError,
+
+  kFeatureCount,
+};
+
+inline constexpr size_t kNumFeatures =
+    static_cast<size_t>(Feature::kFeatureCount);
+
+const char* FeatureName(Feature f);
+
+class CoverageMap {
+ public:
+  void Mark(Feature f) { ++hits_[static_cast<size_t>(f)]; }
+
+  uint64_t Hits(Feature f) const { return hits_[static_cast<size_t>(f)]; }
+
+  size_t CoveredFeatures() const {
+    size_t covered = 0;
+    for (uint64_t h : hits_) covered += h > 0 ? 1 : 0;
+    return covered;
+  }
+
+  double CoverageRatio() const {
+    return static_cast<double>(CoveredFeatures()) /
+           static_cast<double>(kNumFeatures);
+  }
+
+  uint64_t TotalHits() const {
+    uint64_t total = 0;
+    for (uint64_t h : hits_) total += h;
+    return total;
+  }
+
+  void MergeFrom(const CoverageMap& other) {
+    for (size_t i = 0; i < kNumFeatures; ++i) hits_[i] += other.hits_[i];
+  }
+
+  void Reset() { hits_.fill(0); }
+
+ private:
+  std::array<uint64_t, kNumFeatures> hits_{};
+};
+
+}  // namespace minidb
+}  // namespace pqs
+
+#endif  // PQS_SRC_MINIDB_COVERAGE_H_

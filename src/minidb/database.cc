@@ -1,0 +1,712 @@
+#include "src/minidb/database.h"
+
+namespace pqs {
+namespace minidb {
+
+namespace {
+
+// Finds the first column=column comparison node in the expression, if any
+// (used by the join-predicate-pushdown bug to pick its victim term).
+const Expr* FirstColumnColumnCompare(const Expr& expr) {
+  if (expr.kind == ExprKind::kBinary && IsComparisonOp(expr.bop) &&
+      expr.args.size() == 2 && expr.args[0] && expr.args[1] &&
+      expr.args[0]->kind == ExprKind::kColumnRef &&
+      expr.args[1]->kind == ExprKind::kColumnRef) {
+    return &expr;
+  }
+  for (const ExprPtr& a : expr.args) {
+    if (a == nullptr) continue;
+    if (const Expr* found = FirstColumnColumnCompare(*a)) return found;
+  }
+  return nullptr;
+}
+
+// True if some comparison mixes a text literal with a numeric-affinity
+// column or a numeric literal with a text-affinity column (the
+// cross-type-comparison coverage feature).
+bool HasCrossTypeCompare(
+    const Expr& expr,
+    const std::vector<std::pair<std::string, Affinity>>& column_affinity) {
+  if (expr.kind == ExprKind::kBinary && IsComparisonOp(expr.bop) &&
+      expr.args.size() == 2 && expr.args[0] && expr.args[1]) {
+    for (int side = 0; side < 2; ++side) {
+      const Expr& lit = *expr.args[side];
+      const Expr& col = *expr.args[1 - side];
+      if (lit.kind != ExprKind::kLiteral || col.kind != ExprKind::kColumnRef) {
+        continue;
+      }
+      for (const auto& [name, affinity] : column_affinity) {
+        if (name != col.column) continue;
+        bool text_col = affinity == Affinity::kText;
+        bool text_lit = lit.literal.cls == StorageClass::kText;
+        if (!lit.literal.is_null() && text_col != text_lit) return true;
+      }
+    }
+  }
+  for (const ExprPtr& a : expr.args) {
+    if (a != nullptr && HasCrossTypeCompare(*a, column_affinity)) return true;
+  }
+  return false;
+}
+
+bool ContainsLongWildcardLike(const Expr& expr) {
+  if (expr.kind == ExprKind::kLike && expr.args.size() == 2 &&
+      expr.args[1] != nullptr && expr.args[1]->kind == ExprKind::kLiteral &&
+      expr.args[1]->literal.cls == StorageClass::kText) {
+    const std::string& p = expr.args[1]->literal.t;
+    if (p.size() >= 4 && p.front() == '%' && p.back() == '%') return true;
+  }
+  for (const ExprPtr& a : expr.args) {
+    if (a != nullptr && ContainsLongWildcardLike(*a)) return true;
+  }
+  return false;
+}
+
+RowSchema SchemaFor(const std::string& table_name,
+                    const std::vector<ColumnDef>& columns) {
+  RowSchema schema;
+  for (const ColumnDef& def : columns) {
+    schema.cols.emplace_back(table_name, def.name);
+  }
+  return schema;
+}
+
+// True if the (nullable) partial-index predicate covers `row`.
+bool RowCoveredByPartial(const Expr* where, const RowSchema& schema,
+                         const EvalContext& ctx,
+                         const std::vector<SqlValue>& row) {
+  if (where == nullptr) return true;
+  RowView view{&schema, &row};
+  bool error = false;
+  return EvaluatePredicate(*where, view, ctx, &error) == Bool3::kTrue &&
+         !error;
+}
+
+// True if two rows collide on the key columns: every key value non-NULL
+// (SQL NULLs are distinct under UNIQUE) and pairwise equal.
+bool KeyColumnsCollide(const std::vector<int>& key_indexes,
+                       const std::vector<SqlValue>& a,
+                       const std::vector<SqlValue>& b) {
+  for (int idx : key_indexes) {
+    const SqlValue& va = a[static_cast<size_t>(idx)];
+    const SqlValue& vb = b[static_cast<size_t>(idx)];
+    if (va.is_null() || vb.is_null() || !ValueEquals(va, vb)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Database::Database(Dialect dialect, BugConfig bugs)
+    : dialect_(dialect), bugs_(bugs) {}
+
+std::string Database::EngineName() const {
+  return std::string("minidb-") + DialectName(dialect_);
+}
+
+StatementResult Database::Crash(const std::string& why) {
+  alive_ = false;
+  return StatementResult::Failure(StatementStatus::kCrash,
+                                  "simulated SEGFAULT: " + why);
+}
+
+StatementResult Database::Execute(const Stmt& stmt) {
+  if (!alive_) {
+    return StatementResult::Failure(StatementStatus::kCrash,
+                                    "connection died earlier");
+  }
+  StatementResult result;
+  switch (stmt.kind()) {
+    case StmtKind::kCreateTable:
+      result = ExecuteCreateTable(static_cast<const CreateTableStmt&>(stmt));
+      break;
+    case StmtKind::kCreateIndex:
+      result = ExecuteCreateIndex(static_cast<const CreateIndexStmt&>(stmt));
+      break;
+    case StmtKind::kInsert:
+      result = ExecuteInsert(static_cast<const InsertStmt&>(stmt));
+      break;
+    case StmtKind::kSelect:
+      result = ExecuteSelect(static_cast<const SelectStmt&>(stmt));
+      break;
+  }
+  if (result.status == StatementStatus::kError) Mark(Feature::kStatementError);
+  return result;
+}
+
+StatementResult Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  if (FindTable(stmt.table_name) != nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "table already exists: " +
+                                        stmt.table_name);
+  }
+  if (stmt.columns.empty()) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "table without columns");
+  }
+  Mark(Feature::kCreateTable);
+  for (const ColumnDef& col : stmt.columns) {
+    switch (col.affinity) {
+      case Affinity::kInteger:
+        Mark(Feature::kColumnInteger);
+        break;
+      case Affinity::kReal:
+        Mark(Feature::kColumnReal);
+        break;
+      case Affinity::kText:
+        Mark(Feature::kColumnText);
+        break;
+    }
+    if (col.unique) Mark(Feature::kConstraintUnique);
+    if (col.primary_key) Mark(Feature::kConstraintPrimaryKey);
+    if (col.not_null) Mark(Feature::kConstraintNotNull);
+  }
+  TableData table;
+  table.name = stmt.table_name;
+  table.columns = stmt.columns;
+  tables_.push_back(std::move(table));
+  return StatementResult::Ok();
+}
+
+StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  for (const std::string& col : stmt.columns) {
+    bool found = false;
+    for (const ColumnDef& def : table->columns) found |= def.name == col;
+    if (!found) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "no such column: " + col);
+    }
+  }
+  Mark(Feature::kCreateIndex);
+  if (stmt.unique) Mark(Feature::kUniqueIndex);
+  if (stmt.where != nullptr) Mark(Feature::kPartialIndex);
+
+  if (stmt.unique) {
+    // A unique index over existing duplicate data is a constraint
+    // violation, not an engine error; the index is not created.
+    RowSchema schema = SchemaFor(table->name, table->columns);
+    EvalContext ctx{dialect_, &bugs_};
+    std::vector<int> key_indexes;
+    for (const std::string& col : stmt.columns) {
+      key_indexes.push_back(schema.IndexOf(stmt.table_name, col));
+    }
+    for (size_t i = 0; i < table->rows.size(); ++i) {
+      if (!RowCoveredByPartial(stmt.where.get(), schema, ctx,
+                               table->rows[i])) {
+        continue;
+      }
+      for (size_t j = i + 1; j < table->rows.size(); ++j) {
+        if (!RowCoveredByPartial(stmt.where.get(), schema, ctx,
+                                 table->rows[j])) {
+          continue;
+        }
+        if (KeyColumnsCollide(key_indexes, table->rows[i],
+                              table->rows[j])) {
+          Mark(Feature::kConstraintViolationRejected);
+          return StatementResult::Failure(
+              StatementStatus::kConstraintViolation,
+              "unique index over duplicate rows");
+        }
+      }
+    }
+  }
+
+  IndexData index;
+  index.name = stmt.index_name;
+  index.table_name = stmt.table_name;
+  index.columns = stmt.columns;
+  index.unique = stmt.unique;
+  index.where = stmt.where ? stmt.where->Clone() : nullptr;
+  indexes_.push_back(std::move(index));
+  return StatementResult::Ok();
+}
+
+bool Database::CoerceForInsert(const ColumnDef& col, SqlValue* value,
+                               StatementResult* failure) {
+  if (value->is_null()) {
+    Mark(Feature::kInsertNullValue);
+    return true;  // NOT NULL is checked later as a constraint
+  }
+  bool strict = dialect_ == Dialect::kPostgresStrict;
+  switch (col.affinity) {
+    case Affinity::kInteger:
+      if (value->cls == StorageClass::kInteger) return true;
+      if (value->cls == StorageClass::kReal) {
+        if (strict) {
+          double t = value->r;
+          if (t != static_cast<double>(static_cast<int64_t>(t))) {
+            *failure = StatementResult::Failure(
+                StatementStatus::kError, "invalid input for integer column");
+            return false;
+          }
+        }
+        *value = SqlValue::Int(static_cast<int64_t>(value->r));
+        Mark(Feature::kInsertAffinityCoercion);
+        return true;
+      }
+      // Text into an integer column.
+      if (strict) {
+        *failure = StatementResult::Failure(
+            StatementStatus::kError, "invalid input for integer column");
+        return false;
+      }
+      {
+        SqlValue parsed;
+        if (ParseFullNumeric(value->t, &parsed)) {
+          if (parsed.cls == StorageClass::kReal) {
+            parsed = SqlValue::Int(static_cast<int64_t>(parsed.r));
+          }
+          *value = parsed;
+          Mark(Feature::kInsertAffinityCoercion);
+        } else if (dialect_ == Dialect::kMysqlLike) {
+          *value = SqlValue::Int(
+              static_cast<int64_t>(ParseNumericPrefix(value->t)));
+          Mark(Feature::kInsertAffinityCoercion);
+        }
+        // kSqliteFlex keeps unparseable text as-is (flexible typing).
+      }
+      return true;
+    case Affinity::kReal:
+      if (value->cls == StorageClass::kReal) return true;
+      if (value->cls == StorageClass::kInteger) {
+        *value = SqlValue::Real(static_cast<double>(value->i));
+        Mark(Feature::kInsertAffinityCoercion);
+        return true;
+      }
+      if (strict) {
+        *failure = StatementResult::Failure(
+            StatementStatus::kError, "invalid input for real column");
+        return false;
+      }
+      {
+        SqlValue parsed;
+        if (ParseFullNumeric(value->t, &parsed)) {
+          *value = SqlValue::Real(parsed.AsReal());
+          Mark(Feature::kInsertAffinityCoercion);
+        } else if (dialect_ == Dialect::kMysqlLike) {
+          *value = SqlValue::Real(ParseNumericPrefix(value->t));
+          Mark(Feature::kInsertAffinityCoercion);
+        }
+      }
+      return true;
+    case Affinity::kText:
+      if (value->cls == StorageClass::kText) return true;
+      if (strict) {
+        *failure = StatementResult::Failure(
+            StatementStatus::kError, "invalid input for text column");
+        return false;
+      }
+      *value = SqlValue::Text(value->ToDisplay());
+      Mark(Feature::kInsertAffinityCoercion);
+      return true;
+  }
+  return true;
+}
+
+StatementResult Database::CheckConstraints(
+    const TableData& table, const std::vector<SqlValue>& candidate,
+    const std::vector<std::vector<SqlValue>>& pending) {
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const ColumnDef& col = table.columns[c];
+    bool needs_value = col.not_null || col.primary_key;
+    if (needs_value && candidate[c].is_null()) {
+      Mark(Feature::kConstraintViolationRejected);
+      return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                      "NOT NULL constraint failed: " +
+                                          col.name);
+    }
+    bool must_be_distinct = col.unique || col.primary_key;
+    if (!must_be_distinct || candidate[c].is_null()) continue;
+    auto collides = [&](const std::vector<SqlValue>& other) {
+      return !other[c].is_null() && ValueEquals(other[c], candidate[c]);
+    };
+    for (const auto& row : table.rows) {
+      if (collides(row)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "UNIQUE constraint failed: " +
+                                            col.name);
+      }
+    }
+    for (const auto& row : pending) {
+      if (collides(row)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "UNIQUE constraint failed: " +
+                                            col.name);
+      }
+    }
+  }
+
+  // Unique indexes (including partial ones) also enforce uniqueness.
+  RowSchema schema = SchemaFor(table.name, table.columns);
+  EvalContext ctx{dialect_, &bugs_};
+  for (const IndexData& index : indexes_) {
+    if (!index.unique || index.table_name != table.name) continue;
+    if (!RowCoveredByPartial(index.where.get(), schema, ctx, candidate)) {
+      continue;
+    }
+    std::vector<int> key_indexes;
+    for (const std::string& col : index.columns) {
+      key_indexes.push_back(schema.IndexOf(table.name, col));
+    }
+    auto collides = [&](const std::vector<SqlValue>& other) {
+      return RowCoveredByPartial(index.where.get(), schema, ctx, other) &&
+             KeyColumnsCollide(key_indexes, other, candidate);
+    };
+    for (const auto& row : table.rows) {
+      if (collides(row)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "unique index constraint failed: " +
+                                            index.name);
+      }
+    }
+    for (const auto& row : pending) {
+      if (collides(row)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "unique index constraint failed: " +
+                                            index.name);
+      }
+    }
+  }
+  return StatementResult::Ok();
+}
+
+StatementResult Database::ExecuteInsert(const InsertStmt& stmt) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  Mark(Feature::kInsert);
+  if (stmt.rows.size() > 1) Mark(Feature::kMultiRowInsert);
+
+  EvalContext ctx{dialect_, &bugs_};
+  RowView no_row;  // literal rows cannot reference columns
+  std::vector<std::vector<SqlValue>> accepted;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != table->columns.size()) {
+      return StatementResult::Failure(
+          StatementStatus::kError,
+          "value count does not match column count");
+    }
+    std::vector<SqlValue> row;
+    row.reserve(row_exprs.size());
+    for (size_t c = 0; c < row_exprs.size(); ++c) {
+      if (row_exprs[c] == nullptr) {
+        return StatementResult::Failure(StatementStatus::kError,
+                                        "missing value expression");
+      }
+      EvalResult v = Evaluate(*row_exprs[c], no_row, ctx);
+      if (v.error) {
+        return StatementResult::Failure(StatementStatus::kError, v.message);
+      }
+      StatementResult failure;
+      if (!CoerceForInsert(table->columns[c], &v.value, &failure)) {
+        return failure;
+      }
+      row.push_back(std::move(v.value));
+    }
+    StatementResult violation = CheckConstraints(*table, row, accepted);
+    if (!violation.ok()) {
+      // Statement-level abort: no row of a failing INSERT is applied,
+      // matching SQLite's default ON CONFLICT ABORT with a statement
+      // journal.
+      return violation;
+    }
+    accepted.push_back(std::move(row));
+  }
+  for (auto& row : accepted) table->rows.push_back(std::move(row));
+  return StatementResult::Ok();
+}
+
+void Database::MarkExprFeatures(const Expr& expr) {
+  if (coverage_ == nullptr) return;
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      break;
+    case ExprKind::kColumnRef:
+      Mark(Feature::kExprColumnRef);
+      break;
+    case ExprKind::kUnary:
+      if (expr.uop == UnaryOp::kNot) Mark(Feature::kExprNot);
+      break;
+    case ExprKind::kBinary:
+      if (IsComparisonOp(expr.bop)) Mark(Feature::kExprComparison);
+      if (expr.bop == BinaryOp::kAnd) Mark(Feature::kExprLogicalAnd);
+      if (expr.bop == BinaryOp::kOr) Mark(Feature::kExprLogicalOr);
+      if (IsArithmeticOp(expr.bop)) Mark(Feature::kExprArithmetic);
+      if (expr.bop == BinaryOp::kDiv) Mark(Feature::kExprDivision);
+      if (expr.bop == BinaryOp::kConcat) Mark(Feature::kExprConcat);
+      break;
+    case ExprKind::kIsNull:
+      Mark(Feature::kExprIsNull);
+      break;
+    case ExprKind::kInList:
+      Mark(Feature::kExprInList);
+      break;
+    case ExprKind::kBetween:
+      Mark(Feature::kExprBetween);
+      break;
+    case ExprKind::kLike:
+      Mark(Feature::kExprLike);
+      break;
+  }
+  for (const ExprPtr& a : expr.args) {
+    if (a != nullptr) MarkExprFeatures(*a);
+  }
+}
+
+StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
+  if (stmt.from_tables.empty()) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "SELECT without FROM");
+  }
+  std::vector<TableData*> from;
+  for (const std::string& name : stmt.from_tables) {
+    TableData* table = FindTable(name);
+    if (table == nullptr) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "no such table: " + name);
+    }
+    from.push_back(table);
+  }
+
+  Mark(Feature::kSelect);
+  if (stmt.where != nullptr) Mark(Feature::kSelectWhere);
+  if (from.size() > 1) Mark(Feature::kSelectJoin);
+  if (!stmt.select_list.empty()) Mark(Feature::kSelectProjection);
+  if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
+  for (const ExprPtr& e : stmt.select_list) {
+    if (e != nullptr) MarkExprFeatures(*e);
+  }
+  if (coverage_ != nullptr && stmt.where != nullptr) {
+    std::vector<std::pair<std::string, Affinity>> column_affinity;
+    for (const TableData* table : from) {
+      for (const ColumnDef& def : table->columns) {
+        column_affinity.emplace_back(def.name, def.affinity);
+      }
+    }
+    if (HasCrossTypeCompare(*stmt.where, column_affinity)) {
+      Mark(Feature::kCrossTypeComparison);
+    }
+  }
+
+  // --- Statement-level injected bugs (spurious errors and crashes). ------
+  if (stmt.where != nullptr) {
+    const Expr& where = *stmt.where;
+    if (BugOn(BugId::kOrTermLimit) &&
+        where.CountBinaryOp(BinaryOp::kOr) >= 2) {
+      return StatementResult::Failure(
+          StatementStatus::kError,
+          "too many OR terms for the WHERE optimizer (spurious)");
+    }
+    if (BugOn(BugId::kParallelWorkerError) && from.size() >= 2 &&
+        where.ContainsBinaryOp(BinaryOp::kAnd)) {
+      return StatementResult::Failure(
+          StatementStatus::kError,
+          "could not start background parallel worker (spurious)");
+    }
+    if (BugOn(BugId::kDeepExprCrash) && where.Depth() >= 6) {
+      return Crash("expression stack overflow");
+    }
+    if (BugOn(BugId::kLikeWildcardCrash) && ContainsLongWildcardLike(where)) {
+      return Crash("pattern buffer overread");
+    }
+    if (BugOn(BugId::kBetweenNullCrash) &&
+        where.ContainsKind(ExprKind::kBetween) &&
+        where.ContainsKind(ExprKind::kIsNull)) {
+      return Crash("null range plan dereference");
+    }
+  }
+
+  // --- Scan-level injected bugs: decide per-row drop predicates. ---------
+  const Expr* partial_index_where = nullptr;
+  std::string partial_index_table;
+  if (BugOn(BugId::kPartialIndexIsNotInference) && stmt.where != nullptr &&
+      stmt.where->ContainsIsNull(/*negated_form=*/true)) {
+    for (const IndexData& index : indexes_) {
+      if (index.where == nullptr) continue;
+      for (const TableData* table : from) {
+        if (index.table_name == table->name) {
+          partial_index_where = index.where.get();
+          partial_index_table = index.table_name;
+          break;
+        }
+      }
+      if (partial_index_where != nullptr) break;
+    }
+  }
+  bool indexed_or_skip = false;
+  if (BugOn(BugId::kIndexedOrSkip) && stmt.where != nullptr &&
+      stmt.where->ContainsBinaryOp(BinaryOp::kOr)) {
+    for (const IndexData& index : indexes_) {
+      for (const TableData* table : from) {
+        indexed_or_skip |= index.table_name == table->name;
+      }
+    }
+  }
+  int unique_null_col = -1;
+  const Expr* join_pushdown_term = nullptr;
+  if (BugOn(BugId::kJoinPredicatePushdown) && from.size() >= 2 &&
+      stmt.where != nullptr) {
+    join_pushdown_term = FirstColumnColumnCompare(*stmt.where);
+  }
+
+  // Combined (joined) schema in FROM order.
+  RowSchema schema;
+  StatementResult result;
+  for (const TableData* table : from) {
+    for (size_t c = 0; c < table->columns.size(); ++c) {
+      schema.cols.emplace_back(table->name, table->columns[c].name);
+      result.column_names.push_back(table->columns[c].name);
+      if (unique_null_col < 0 && BugOn(BugId::kUniqueNullLost) &&
+          stmt.where != nullptr &&
+          stmt.where->ContainsIsNull(/*negated_form=*/false) &&
+          table->columns[c].unique) {
+        unique_null_col = static_cast<int>(schema.cols.size()) - 1;
+      }
+    }
+  }
+
+  EvalContext ctx{dialect_, &bugs_};
+
+  // Nested-loop cross product over the FROM tables.
+  std::vector<size_t> cursor(from.size(), 0);
+  bool empty = false;
+  for (const TableData* table : from) empty |= table->rows.empty();
+  std::vector<SqlValue> combined;
+  combined.reserve(schema.cols.size());
+  while (!empty) {
+    combined.clear();
+    for (size_t t = 0; t < from.size(); ++t) {
+      const auto& row = from[t]->rows[cursor[t]];
+      combined.insert(combined.end(), row.begin(), row.end());
+    }
+    RowView view{&schema, &combined};
+
+    bool keep = true;
+    if (stmt.where != nullptr) {
+      EvalResult evaluated = Evaluate(*stmt.where, view, ctx);
+      if (evaluated.error) {
+        return StatementResult::Failure(StatementStatus::kError,
+                                        evaluated.message);
+      }
+      Bool3 match = Truthiness(evaluated.value, dialect_);
+      keep = match == Bool3::kTrue;
+      Mark(keep ? Feature::kRowMatched : Feature::kRowFiltered);
+      if (coverage_ != nullptr && match == Bool3::kNull) {
+        Mark(Feature::kNullComparison);
+      }
+    }
+
+    if (keep && partial_index_where != nullptr) {
+      // Wrongly re-filter rows through the partial index predicate, as if
+      // the index were usable for IS NOT NULL inference.
+      size_t offset = 0;
+      for (const TableData* table : from) {
+        if (table->name == partial_index_table) break;
+        offset += table->columns.size();
+      }
+      RowSchema sub;
+      std::vector<SqlValue> slice;
+      for (const TableData* table : from) {
+        if (table->name != partial_index_table) continue;
+        for (const ColumnDef& def : table->columns) {
+          sub.cols.emplace_back(table->name, def.name);
+        }
+        slice.assign(combined.begin() + static_cast<long>(offset),
+                     combined.begin() +
+                         static_cast<long>(offset + table->columns.size()));
+        break;
+      }
+      RowView sub_view{&sub, &slice};
+      bool error = false;
+      if (EvaluatePredicate(*partial_index_where, sub_view, ctx, &error) !=
+              Bool3::kTrue ||
+          error) {
+        keep = false;
+      }
+    }
+    if (keep && indexed_or_skip && stmt.where != nullptr &&
+        stmt.where->kind == ExprKind::kBinary &&
+        stmt.where->bop == BinaryOp::kOr) {
+      // Rows satisfying the first OR arm "come from the corrupted index
+      // scan" and are dropped.
+      bool error = false;
+      if (EvaluatePredicate(*stmt.where->args[0], view, ctx, &error) ==
+              Bool3::kTrue &&
+          !error) {
+        keep = false;
+      }
+    }
+    if (keep && unique_null_col >= 0 &&
+        combined[static_cast<size_t>(unique_null_col)].is_null()) {
+      keep = false;
+    }
+    if (keep && join_pushdown_term != nullptr) {
+      bool error = false;
+      if (EvaluatePredicate(*join_pushdown_term, view, ctx, &error) ==
+              Bool3::kTrue &&
+          !error) {
+        keep = false;
+      }
+    }
+
+    if (keep) {
+      if (stmt.select_list.empty()) {
+        result.rows.push_back(combined);
+      } else {
+        std::vector<SqlValue> projected;
+        projected.reserve(stmt.select_list.size());
+        for (const ExprPtr& e : stmt.select_list) {
+          EvalResult v = Evaluate(*e, view, ctx);
+          if (v.error) {
+            return StatementResult::Failure(StatementStatus::kError,
+                                            v.message);
+          }
+          projected.push_back(std::move(v.value));
+        }
+        result.rows.push_back(std::move(projected));
+      }
+    }
+
+    // Advance the cross-product cursor (last table varies fastest).
+    size_t t = from.size();
+    while (t > 0) {
+      --t;
+      if (++cursor[t] < from[t]->rows.size()) break;
+      cursor[t] = 0;
+      if (t == 0) empty = true;  // wrapped the outermost table: done
+    }
+  }
+
+  if (stmt.select_list.empty() && result.column_names.empty()) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "SELECT * with no columns");
+  }
+  if (!stmt.select_list.empty()) {
+    result.column_names.clear();
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      result.column_names.push_back("expr" + std::to_string(i));
+    }
+  }
+  return result;
+}
+
+Database::TableData* Database::FindTable(const std::string& name) {
+  for (TableData& table : tables_) {
+    if (table.name == name) return &table;
+  }
+  return nullptr;
+}
+
+}  // namespace minidb
+}  // namespace pqs

@@ -1,0 +1,109 @@
+// MiniDB: the in-process SQL engine under test.
+//
+// Implements the pqs::Connection contract for all three dialect flavors.
+// Semantics are interpreted directly over the typed AST (no SQL text round
+// trip) using the shared src/interp evaluator, which is what makes the
+// containment oracle exact on a clean engine. A BugConfig turns on injected
+// bug classes from the registry in src/minidb/bug_registry.h; scan-level
+// and statement-level bugs are implemented here, expression-level bugs in
+// the evaluator.
+#ifndef PQS_SRC_MINIDB_DATABASE_H_
+#define PQS_SRC_MINIDB_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/bugs.h"
+#include "src/engine/connection.h"
+#include "src/interp/eval.h"
+#include "src/minidb/coverage.h"
+#include "src/sqlast/ast.h"
+
+namespace pqs {
+namespace minidb {
+
+class Database : public Connection {
+ public:
+  explicit Database(Dialect dialect, BugConfig bugs = BugConfig());
+
+  StatementResult Execute(const Stmt& stmt) override;
+  Dialect dialect() const override { return dialect_; }
+  std::string EngineName() const override;
+  bool alive() const override { return alive_; }
+
+  // Feature coverage is recorded into an external sink so a whole session's
+  // connections can share one map (bench_table4). Null disables tracking.
+  void set_coverage_sink(CoverageMap* sink) { coverage_ = sink; }
+  CoverageMap* coverage_sink() const { return coverage_; }
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  struct TableData {
+    std::string name;
+    std::vector<ColumnDef> columns;
+    std::vector<std::vector<SqlValue>> rows;
+  };
+  struct IndexData {
+    std::string name;
+    std::string table_name;
+    std::vector<std::string> columns;
+    bool unique = false;
+    ExprPtr where;  // partial index predicate (nullable)
+  };
+
+  StatementResult ExecuteCreateTable(const CreateTableStmt& stmt);
+  StatementResult ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  StatementResult ExecuteInsert(const InsertStmt& stmt);
+  StatementResult ExecuteSelect(const SelectStmt& stmt);
+
+  TableData* FindTable(const std::string& name);
+  // Returns an error/violation result if `candidate` (to be added to
+  // `table`) breaks a declared constraint, also considering `pending` rows
+  // of the same statement.
+  StatementResult CheckConstraints(
+      const TableData& table, const std::vector<SqlValue>& candidate,
+      const std::vector<std::vector<SqlValue>>& pending);
+  // Applies dialect insert-position coercion of `value` into `col`.
+  // Returns false (and fills *failure) when the dialect rejects the value.
+  bool CoerceForInsert(const ColumnDef& col, SqlValue* value,
+                       StatementResult* failure);
+
+  void Mark(Feature f) {
+    if (coverage_ != nullptr) coverage_->Mark(f);
+  }
+  void MarkExprFeatures(const Expr& expr);
+
+  bool BugOn(BugId id) const { return bugs_.enabled(id); }
+  StatementResult Crash(const std::string& why);
+
+  Dialect dialect_;
+  BugConfig bugs_;
+  CoverageMap* coverage_ = nullptr;
+  bool alive_ = true;
+  std::vector<TableData> tables_;
+  std::vector<IndexData> indexes_;
+};
+
+// Scoped coverage collection: attaches a CoverageMap to a Database for the
+// lifetime of the session and restores the previous sink on destruction.
+class CoverageSession {
+ public:
+  CoverageSession(Database* db, CoverageMap* map)
+      : db_(db), previous_(db->coverage_sink()) {
+    db_->set_coverage_sink(map);
+  }
+  ~CoverageSession() { db_->set_coverage_sink(previous_); }
+
+  CoverageSession(const CoverageSession&) = delete;
+  CoverageSession& operator=(const CoverageSession&) = delete;
+
+ private:
+  Database* db_;
+  CoverageMap* previous_;
+};
+
+}  // namespace minidb
+}  // namespace pqs
+
+#endif  // PQS_SRC_MINIDB_DATABASE_H_

@@ -1,0 +1,109 @@
+#include "src/pqs/campaign.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/minidb/bug_registry.h"
+#include "src/minidb/database.h"
+#include "src/pqs/reducer.h"
+
+namespace pqs {
+
+const char* ReportOutcomeName(ReportOutcome outcome) {
+  switch (outcome) {
+    case ReportOutcome::kFixed:
+      return "fixed";
+    case ReportOutcome::kVerified:
+      return "verified";
+    case ReportOutcome::kIntended:
+      return "intended";
+    case ReportOutcome::kDuplicate:
+      return "duplicate";
+  }
+  return "?";
+}
+
+size_t CampaignReport::DetectedCount() const {
+  size_t count = 0;
+  for (const BugHuntResult& r : results) count += r.detected ? 1 : 0;
+  return count;
+}
+
+size_t CampaignReport::CountByOracle(OracleKind kind) const {
+  size_t count = 0;
+  for (const BugHuntResult& r : results) {
+    count += (r.detected && r.oracle == kind) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CampaignReport::CountByOutcome(ReportOutcome outcome) const {
+  size_t count = 0;
+  for (const BugHuntResult& r : results) {
+    count += (r.detected && r.outcome == outcome) ? 1 : 0;
+  }
+  return count;
+}
+
+AggregateStats CampaignReport::Aggregate() const {
+  AggregateStats agg;
+  for (const BugHuntResult& r : results) {
+    if (!r.detected) continue;
+    agg.Add(AnalyzeTestCase(r.reduced));
+  }
+  return agg;
+}
+
+BugHuntResult HuntBug(BugId bug, const CampaignOptions& options) {
+  const minidb::BugInfo& info = minidb::LookupBug(bug);
+
+  BugHuntResult result;
+  result.bug = info.id;
+  result.name = info.name;
+  result.dialect = info.dialect;
+  result.outcome = info.outcome;
+
+  Dialect dialect = info.dialect;
+  EngineFactory buggy = [dialect, bug]() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(dialect,
+                                              BugConfig::Single(bug));
+  };
+  EngineFactory reference = [dialect]() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(dialect);
+  };
+
+  RunnerOptions runner_options;
+  // Decorrelate per-bug streams; the campaign seed still fully determines
+  // every hunt.
+  runner_options.seed =
+      options.seed + 0x51ed2701u * (static_cast<uint64_t>(bug) + 1);
+  runner_options.databases = options.databases_per_bug;
+  runner_options.queries_per_database = options.queries_per_database;
+  runner_options.stop_on_first_finding = true;
+  runner_options.gen = options.gen;
+
+  PqsRunner runner(buggy, runner_options);
+  RunReport report = runner.Run();
+  result.statements_used = report.stats.statements_executed;
+  result.databases_used = report.stats.databases_created;
+  if (report.findings.empty()) return result;
+
+  result.detected = true;
+  Finding& finding = report.findings.front();
+  result.oracle = finding.oracle;
+  result.reduced = options.reduce
+                       ? ReduceFinding(buggy, finding, &reference)
+                       : std::move(finding);
+  return result;
+}
+
+CampaignReport RunCampaign(Dialect dialect, const CampaignOptions& options) {
+  CampaignReport report;
+  report.dialect = dialect;
+  for (const minidb::BugInfo& info : minidb::BugsForDialect(dialect)) {
+    report.results.push_back(HuntBug(info.id, options));
+  }
+  return report;
+}
+
+}  // namespace pqs

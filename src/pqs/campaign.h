@@ -1,0 +1,73 @@
+// Campaign layer: systematic bug hunts over MiniDB's injected-bug registry.
+//
+// A campaign enables each registered bug of a dialect in turn, runs the PQS
+// loop until the bug is detected (or a budget is exhausted), optionally
+// reduces the finding, and tabulates the results the way the paper's
+// Tables 2/3 and Figures 2/3 do.
+#ifndef PQS_SRC_PQS_CAMPAIGN_H_
+#define PQS_SRC_PQS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/bugs.h"
+#include "src/engine/connection.h"
+#include "src/pqs/generator.h"
+#include "src/pqs/oracles.h"
+#include "src/pqs/runner.h"
+
+namespace pqs {
+
+// Resolution status the upstream bug report reached (paper Table 2).
+enum class ReportOutcome { kFixed, kVerified, kIntended, kDuplicate };
+
+const char* ReportOutcomeName(ReportOutcome outcome);
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  // Detection budget per bug: up to this many generated databases...
+  int databases_per_bug = 100;
+  // ...with this many oracle-checked queries each.
+  int queries_per_database = 20;
+  bool reduce = true;
+  GeneratorOptions gen;
+};
+
+struct BugHuntResult {
+  // Registry metadata for the hunted bug.
+  BugId bug = BugId::kPartialIndexIsNotInference;
+  const char* name = "";
+  Dialect dialect = Dialect::kSqliteFlex;
+  ReportOutcome outcome = ReportOutcome::kFixed;
+
+  bool detected = false;
+  OracleKind oracle = OracleKind::kContainment;  // oracle that fired
+  // The finding (reduced when CampaignOptions::reduce, raw otherwise).
+  Finding reduced;
+  uint64_t statements_used = 0;
+  uint64_t databases_used = 0;
+};
+
+struct CampaignReport {
+  Dialect dialect = Dialect::kSqliteFlex;
+  // One entry per registered bug of the dialect, in registry order.
+  std::vector<BugHuntResult> results;
+
+  size_t DetectedCount() const;
+  // Detected bugs whose firing oracle was `kind`.
+  size_t CountByOracle(OracleKind kind) const;
+  // Detected bugs whose modeled report outcome is `outcome`.
+  size_t CountByOutcome(ReportOutcome outcome) const;
+  // Test-case statistics over all detected findings.
+  AggregateStats Aggregate() const;
+};
+
+// Hunts every registered bug of `dialect`.
+CampaignReport RunCampaign(Dialect dialect, const CampaignOptions& options);
+
+// Hunts one bug (dialect comes from the registry entry).
+BugHuntResult HuntBug(BugId bug, const CampaignOptions& options);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_PQS_CAMPAIGN_H_

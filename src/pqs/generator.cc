@@ -1,0 +1,384 @@
+#include "src/pqs/generator.h"
+
+#include <memory>
+
+namespace pqs {
+
+namespace {
+
+const char* DeclaredTypeFor(Affinity affinity) {
+  switch (affinity) {
+    case Affinity::kInteger:
+      return "INT";
+    case Affinity::kReal:
+      return "REAL";
+    case Affinity::kText:
+      return "TEXT";
+  }
+  return "TEXT";
+}
+
+BinaryOp RandomComparison(Rng* rng) {
+  switch (rng->Below(6)) {
+    case 0:
+      return BinaryOp::kEq;
+    case 1:
+      return BinaryOp::kNe;
+    case 2:
+      return BinaryOp::kLt;
+    case 3:
+      return BinaryOp::kLe;
+    case 4:
+      return BinaryOp::kGt;
+    default:
+      return BinaryOp::kGe;
+  }
+}
+
+bool IsNumericAffinity(Affinity a) {
+  return a == Affinity::kInteger || a == Affinity::kReal;
+}
+
+}  // namespace
+
+Generator::Generator(const GeneratorOptions& options, Dialect dialect)
+    : options_(options),
+      dialect_(dialect),
+      strict_(dialect == Dialect::kPostgresStrict) {}
+
+std::string Generator::RandomText(Rng* rng) const {
+  return rng->Pick<std::string>({"", "a", "A", "ab", "aB", "ba", "12", "12ab",
+                                 "-3", "xyz", "x", "aa"});
+}
+
+SqlValue Generator::RandomLiteralNear(Affinity affinity, Rng* rng) const {
+  switch (affinity) {
+    case Affinity::kInteger:
+      return SqlValue::Int(rng->IntIn(-10, 10));
+    case Affinity::kReal:
+      return SqlValue::Real(rng->Pick<double>(
+          {-3.25, -0.5, 0.0, 0.5, 1.5, 2.0, 7.25}));
+    case Affinity::kText:
+      return SqlValue::Text(RandomText(rng));
+  }
+  return SqlValue::Null();
+}
+
+SqlValue Generator::RandomValueFor(Affinity affinity, Rng* rng) const {
+  switch (affinity) {
+    case Affinity::kInteger:
+      // Flexible dialects occasionally insert numeric-looking text to
+      // exercise affinity coercion; strict typing forbids it.
+      if (!strict_ && rng->Chance(0.1)) {
+        return SqlValue::Text(std::to_string(rng->IntIn(-9, 9)));
+      }
+      return SqlValue::Int(rng->IntIn(-9, 9));
+    case Affinity::kReal:
+      if (rng->Chance(0.3)) return SqlValue::Real(rng->IntIn(-9, 9));
+      return SqlValue::Real(rng->Pick<double>(
+          {-3.25, -0.5, 0.0, 0.5, 1.5, 2.0, 7.25}));
+    case Affinity::kText:
+      return SqlValue::Text(RandomText(rng));
+  }
+  return SqlValue::Null();
+}
+
+DatabasePlan Generator::GenerateDatabase(Rng* rng) const {
+  DatabasePlan plan;
+  int table_count =
+      static_cast<int>(rng->IntIn(1, options_.max_tables > 0
+                                         ? options_.max_tables
+                                         : 1));
+  int column_counter = 0;
+  for (int t = 0; t < table_count; ++t) {
+    TableSchema table;
+    table.name = "t" + std::to_string(t);
+    int column_count = static_cast<int>(
+        rng->IntIn(1, options_.max_columns > 0 ? options_.max_columns : 1));
+    bool has_pk = false;
+    for (int c = 0; c < column_count; ++c) {
+      ColumnDef col;
+      // Column names are globally unique across tables so joined rows never
+      // need disambiguation.
+      col.name = "c" + std::to_string(column_counter++);
+      double roll = rng->Unit();
+      col.affinity = roll < 0.45 ? Affinity::kInteger
+                                 : (roll < 0.65 ? Affinity::kReal
+                                                : Affinity::kText);
+      col.declared_type = DeclaredTypeFor(col.affinity);
+      if (!has_pk && rng->Chance(0.15)) {
+        col.primary_key = true;
+        has_pk = true;
+      } else if (rng->Chance(0.2)) {
+        col.unique = true;
+      }
+      if (rng->Chance(0.12)) col.not_null = true;
+      table.columns.push_back(std::move(col));
+    }
+    auto create = std::make_unique<CreateTableStmt>();
+    create->table_name = table.name;
+    create->columns = table.columns;
+    plan.statements.push_back(std::move(create));
+    plan.tables.push_back(std::move(table));
+  }
+
+  // Indexes, before data so unique indexes constrain the inserts.
+  int index_counter = 0;
+  for (const TableSchema& table : plan.tables) {
+    for (int i = 0; i < 2 && rng->Chance(options_.index_probability); ++i) {
+      auto index = std::make_unique<CreateIndexStmt>();
+      index->index_name = "i" + std::to_string(index_counter++);
+      index->table_name = table.name;
+      size_t first = rng->Below(table.columns.size());
+      index->columns.push_back(table.columns[first].name);
+      if (table.columns.size() > 1 && rng->Chance(0.3)) {
+        size_t second = rng->Below(table.columns.size());
+        if (second != first) {
+          index->columns.push_back(table.columns[second].name);
+        }
+      }
+      index->unique = rng->Chance(0.25);
+      if (rng->Chance(options_.partial_index_probability)) {
+        const ColumnDef& col =
+            table.columns[rng->Below(table.columns.size())];
+        double form = rng->Unit();
+        if (form < 0.5) {
+          index->where = MakeIsNull(MakeColumnRef(table.name, col.name),
+                                    /*negated=*/true);
+        } else if (form < 0.75) {
+          index->where = MakeIsNull(MakeColumnRef(table.name, col.name),
+                                    /*negated=*/false);
+        } else {
+          index->where = MakeBinary(
+              BinaryOp::kGt, MakeColumnRef(table.name, col.name),
+              MakeLiteral(RandomLiteralNear(col.affinity, rng)));
+        }
+      }
+      plan.statements.push_back(std::move(index));
+    }
+  }
+
+  // Data: min_rows..max_rows rows per table, split into 1-3-row INSERTs so
+  // delta debugging has statement-level granularity.
+  for (const TableSchema& table : plan.tables) {
+    int rows = static_cast<int>(
+        rng->IntIn(options_.min_rows, options_.max_rows));
+    while (rows > 0) {
+      int in_stmt = static_cast<int>(rng->IntIn(1, rows < 3 ? rows : 3));
+      auto insert = std::make_unique<InsertStmt>();
+      insert->table_name = table.name;
+      for (int r = 0; r < in_stmt; ++r) {
+        std::vector<ExprPtr> row;
+        for (const ColumnDef& col : table.columns) {
+          double null_p = col.not_null ? 0.02 : options_.null_probability;
+          if (rng->Chance(null_p)) {
+            row.push_back(MakeNullLiteral());
+            continue;
+          }
+          SqlValue v = RandomValueFor(col.affinity, rng);
+          if ((col.unique || col.primary_key) &&
+              col.affinity == Affinity::kInteger &&
+              v.cls == StorageClass::kInteger) {
+            // Wider range keeps most unique inserts from colliding.
+            v = SqlValue::Int(rng->IntIn(-99, 99));
+          }
+          row.push_back(MakeLiteral(std::move(v)));
+        }
+        insert->rows.push_back(std::move(row));
+      }
+      rows -= in_stmt;
+      plan.statements.push_back(std::move(insert));
+    }
+  }
+  return plan;
+}
+
+std::vector<const TableSchema*> Generator::PickFromTables(
+    const DatabasePlan& plan, Rng* rng) const {
+  std::vector<const TableSchema*> from;
+  size_t first = rng->Below(plan.tables.size());
+  from.push_back(&plan.tables[first]);
+  if (plan.tables.size() > 1 &&
+      rng->Chance(options_.multi_table_query_probability)) {
+    size_t second = rng->Below(plan.tables.size());
+    if (second != first) from.push_back(&plan.tables[second]);
+  }
+  return from;
+}
+
+const ColumnDef* Generator::PickColumn(
+    const std::vector<const TableSchema*>& tables, const TableSchema** table,
+    Rng* rng) const {
+  const TableSchema* t = tables[rng->Below(tables.size())];
+  const ColumnDef* col = &t->columns[rng->Below(t->columns.size())];
+  if (table != nullptr) *table = t;
+  return col;
+}
+
+ExprPtr Generator::GenOperand(const std::vector<const TableSchema*>& tables,
+                              Rng* rng) const {
+  const TableSchema* table = nullptr;
+  const ColumnDef* col = PickColumn(tables, &table, rng);
+  if (rng->Chance(0.7)) return MakeColumnRef(table->name, col->name);
+  return MakeLiteral(RandomLiteralNear(col->affinity, rng));
+}
+
+ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
+                           Rng* rng) const {
+  const TableSchema* table = nullptr;
+  const ColumnDef* col = PickColumn(tables, &table, rng);
+  ExprPtr col_ref = MakeColumnRef(table->name, col->name);
+  double roll = rng->Unit();
+
+  if (roll < 0.30) {
+    // Column vs literal comparison.
+    SqlValue lit = RandomLiteralNear(col->affinity, rng);
+    if (!strict_) {
+      if (dialect_ == Dialect::kMysqlLike && rng->Chance(0.3)) {
+        // MySQL-like numeric coercion of text.
+        lit = IsNumericAffinity(col->affinity)
+                  ? SqlValue::Text(rng->Pick<std::string>(
+                        {"12ab", "-3", "2", "0x", "abc"}))
+                  : SqlValue::Int(rng->IntIn(-5, 5));
+      } else if (dialect_ == Dialect::kSqliteFlex && rng->Chance(0.12) &&
+                 IsNumericAffinity(col->affinity)) {
+        // Cross-storage-class comparison; non-numeric text only, so the
+        // model agrees with real SQLite's affinity rules.
+        lit = SqlValue::Text(rng->Pick<std::string>({"abc", "x", "zz"}));
+      }
+    }
+    return MakeBinary(RandomComparison(rng), std::move(col_ref),
+                      MakeLiteral(std::move(lit)));
+  }
+  if (roll < 0.40) {
+    // Column vs column comparison, restricted to the same type class in
+    // every dialect: SQLite applies numeric affinity across such a
+    // comparison ('12' TEXT vs INT compares numerically), which the
+    // storage-class model deliberately does not reproduce.
+    const TableSchema* other_table = nullptr;
+    const ColumnDef* other = PickColumn(tables, &other_table, rng);
+    bool compatible = IsNumericAffinity(col->affinity) ==
+                      IsNumericAffinity(other->affinity);
+    if (compatible) {
+      return MakeBinary(RandomComparison(rng), std::move(col_ref),
+                        MakeColumnRef(other_table->name, other->name));
+    }
+    return MakeBinary(RandomComparison(rng), std::move(col_ref),
+                      MakeLiteral(RandomLiteralNear(col->affinity, rng)));
+  }
+  if (roll < 0.55) {
+    // Arithmetic comparison: (col op operand) cmp literal.
+    if (!IsNumericAffinity(col->affinity)) {
+      if (strict_) {
+        return MakeBinary(RandomComparison(rng), std::move(col_ref),
+                          MakeLiteral(RandomLiteralNear(col->affinity, rng)));
+      }
+      // Flexible dialects define arithmetic on text (numeric prefix).
+    }
+    BinaryOp op = rng->Pick<BinaryOp>(
+        {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv});
+    ExprPtr rhs;
+    if (op == BinaryOp::kDiv) {
+      if (strict_) {
+        rhs = MakeIntLiteral(rng->IntIn(1, 4));  // never a zero divisor
+      } else if (rng->Chance(0.5)) {
+        const TableSchema* div_table = nullptr;
+        const ColumnDef* divisor = PickColumn(tables, &div_table, rng);
+        rhs = MakeColumnRef(div_table->name, divisor->name);
+      } else {
+        rhs = MakeIntLiteral(rng->IntIn(0, 4));  // zero divisor → NULL
+      }
+    } else if (rng->Chance(0.5)) {
+      const TableSchema* rhs_table = nullptr;
+      const ColumnDef* rhs_col = PickColumn(tables, &rhs_table, rng);
+      if (strict_ && !IsNumericAffinity(rhs_col->affinity)) {
+        rhs = MakeIntLiteral(rng->IntIn(-9, 9));
+      } else {
+        rhs = MakeColumnRef(rhs_table->name, rhs_col->name);
+      }
+    } else {
+      rhs = MakeIntLiteral(rng->IntIn(-9, 9));
+    }
+    ExprPtr arith = MakeBinary(op, std::move(col_ref), std::move(rhs));
+    return MakeBinary(RandomComparison(rng), std::move(arith),
+                      MakeIntLiteral(rng->IntIn(-9, 9)));
+  }
+  if (roll < 0.68) {
+    // IS [NOT] NULL over a column or (for NULL-propagation coverage) an
+    // arithmetic expression.
+    ExprPtr operand;
+    if (rng->Chance(0.3) &&
+        (IsNumericAffinity(col->affinity) || !strict_)) {
+      const TableSchema* rhs_table = nullptr;
+      const ColumnDef* rhs_col = PickColumn(tables, &rhs_table, rng);
+      ExprPtr rhs = (strict_ && !IsNumericAffinity(rhs_col->affinity))
+                        ? MakeIntLiteral(rng->IntIn(-9, 9))
+                        : MakeColumnRef(rhs_table->name, rhs_col->name);
+      operand = MakeBinary(
+          rng->Pick<BinaryOp>({BinaryOp::kAdd, BinaryOp::kSub,
+                               BinaryOp::kMul}),
+          std::move(col_ref), std::move(rhs));
+    } else {
+      operand = std::move(col_ref);
+    }
+    return MakeIsNull(std::move(operand), rng->Chance(0.5));
+  }
+  if (roll < 0.78) {
+    // IN list (small literal pools make duplicates reasonably likely).
+    std::vector<ExprPtr> list;
+    int n = static_cast<int>(rng->IntIn(2, 4));
+    for (int i = 0; i < n; ++i) {
+      list.push_back(MakeLiteral(RandomLiteralNear(col->affinity, rng)));
+    }
+    return MakeInList(std::move(col_ref), std::move(list),
+                      rng->Chance(0.25));
+  }
+  if (roll < 0.88) {
+    // BETWEEN with bounds in random order (an inverted range is valid SQL;
+    // it just selects nothing).
+    ExprPtr lo = MakeLiteral(RandomLiteralNear(col->affinity, rng));
+    ExprPtr hi = MakeLiteral(RandomLiteralNear(col->affinity, rng));
+    return MakeBetween(std::move(col_ref), std::move(lo), std::move(hi),
+                       rng->Chance(0.25));
+  }
+  // LIKE over a text column; fall back to a plain comparison when the
+  // chosen column is not text (or, in flexible dialects, allow the
+  // engine-defined text conversion occasionally).
+  if (col->affinity == Affinity::kText || (!strict_ && rng->Chance(0.3))) {
+    std::string pattern = rng->Pick<std::string>(
+        {"%a%", "a%", "%b", "_", "%12%", "%ab%", "ab%", "%xy%", "%"});
+    if (dialect_ == Dialect::kSqliteFlex && rng->Chance(0.1)) {
+      // Concat feeding LIKE: exercises || (and the sqlite concat bug).
+      const TableSchema* rhs_table = nullptr;
+      const ColumnDef* rhs_col = PickColumn(tables, &rhs_table, rng);
+      col_ref = MakeBinary(BinaryOp::kConcat, std::move(col_ref),
+                           MakeColumnRef(rhs_table->name, rhs_col->name));
+    }
+    return MakeLike(std::move(col_ref), MakeTextLiteral(pattern),
+                    rng->Chance(0.3));
+  }
+  return MakeBinary(RandomComparison(rng), std::move(col_ref),
+                    MakeLiteral(RandomLiteralNear(col->affinity, rng)));
+}
+
+ExprPtr Generator::GenPredicate(const std::vector<const TableSchema*>& tables,
+                                int depth, Rng* rng) const {
+  if (depth <= 0 || rng->Chance(0.4)) return GenLeaf(tables, rng);
+  double roll = rng->Unit();
+  if (roll < 0.42) {
+    return MakeBinary(BinaryOp::kAnd, GenPredicate(tables, depth - 1, rng),
+                      GenPredicate(tables, depth - 1, rng));
+  }
+  if (roll < 0.84) {
+    return MakeBinary(BinaryOp::kOr, GenPredicate(tables, depth - 1, rng),
+                      GenPredicate(tables, depth - 1, rng));
+  }
+  return MakeUnary(UnaryOp::kNot, GenPredicate(tables, depth - 1, rng));
+}
+
+ExprPtr Generator::GeneratePredicate(
+    const std::vector<const TableSchema*>& tables, Rng* rng) const {
+  return GenPredicate(tables, options_.max_predicate_depth, rng);
+}
+
+}  // namespace pqs

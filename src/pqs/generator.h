@@ -1,0 +1,85 @@
+// Random database and predicate generation (paper §3.1/§3.2).
+//
+// The generator is dialect-aware: in kPostgresStrict it only emits
+// statements and expressions that are statically type-correct, which is
+// what makes the error oracle sound — any error the engine reports on a
+// generated statement (other than a constraint violation on INSERT) is a
+// bug by construction.
+#ifndef PQS_SRC_PQS_GENERATOR_H_
+#define PQS_SRC_PQS_GENERATOR_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/connection.h"
+#include "src/sqlast/ast.h"
+
+namespace pqs {
+
+struct GeneratorOptions {
+  // Algorithm-3 rectification toggle. With it off, the runner still tallies
+  // raw predicate outcomes but must skip the containment check — a raw
+  // predicate is only TRUE on the pivot by chance.
+  bool rectify = true;
+
+  int min_rows = 3;
+  int max_rows = 12;
+  int max_tables = 2;
+  int max_columns = 4;
+  // Composite predicate nesting (leaves add their own internal depth).
+  int max_predicate_depth = 3;
+
+  double index_probability = 0.7;            // ≥1 CREATE INDEX per table
+  double partial_index_probability = 0.4;    // ...of which partial
+  double null_probability = 0.18;            // NULL cell values
+  double multi_table_query_probability = 0.35;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+// Plan for one generated database state: the schema plus the DDL/DML
+// statements that build it.
+struct DatabasePlan {
+  std::vector<TableSchema> tables;
+  std::vector<StmtPtr> statements;
+};
+
+class Generator {
+ public:
+  Generator(const GeneratorOptions& options, Dialect dialect);
+
+  // Generates schema + data statements for a fresh database.
+  DatabasePlan GenerateDatabase(Rng* rng) const;
+
+  // Picks the FROM tables for the next query (at least one).
+  std::vector<const TableSchema*> PickFromTables(const DatabasePlan& plan,
+                                                 Rng* rng) const;
+
+  // Random predicate over the given tables' columns.
+  ExprPtr GeneratePredicate(
+      const std::vector<const TableSchema*>& tables, Rng* rng) const;
+
+ private:
+  ExprPtr GenPredicate(const std::vector<const TableSchema*>& tables,
+                       int depth, Rng* rng) const;
+  ExprPtr GenLeaf(const std::vector<const TableSchema*>& tables,
+                  Rng* rng) const;
+  ExprPtr GenOperand(const std::vector<const TableSchema*>& tables,
+                     Rng* rng) const;
+  const ColumnDef* PickColumn(const std::vector<const TableSchema*>& tables,
+                              const TableSchema** table, Rng* rng) const;
+  SqlValue RandomValueFor(Affinity affinity, Rng* rng) const;
+  SqlValue RandomLiteralNear(Affinity affinity, Rng* rng) const;
+  std::string RandomText(Rng* rng) const;
+
+  GeneratorOptions options_;
+  Dialect dialect_;
+  bool strict_;
+};
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_PQS_GENERATOR_H_

@@ -1,0 +1,114 @@
+#include "src/pqs/oracles.h"
+
+namespace pqs {
+
+const char* OracleName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kContainment:
+      return "contains";
+    case OracleKind::kError:
+      return "error";
+    case OracleKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+Finding Finding::Clone() const {
+  Finding out;
+  out.oracle = oracle;
+  out.dialect = dialect;
+  out.statements.reserve(statements.size());
+  for (const StmtPtr& s : statements) {
+    out.statements.push_back(s ? s->Clone() : nullptr);
+  }
+  out.pivot = pivot;
+  out.message = message;
+  out.seed = seed;
+  return out;
+}
+
+bool ResultContainsRow(const StatementResult& result,
+                       const std::vector<SqlValue>& pivot) {
+  for (const auto& row : result.rows) {
+    if (row.size() != pivot.size()) continue;
+    bool match = true;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!ValueEquals(row[i], pivot[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+void AggregateStats::Add(const TestCaseStats& tc) {
+  ++total_cases;
+  loc_values.push_back(tc.statement_count);
+  for (const std::string& category : tc.categories) {
+    ++per_category[category].test_cases_containing;
+  }
+  if (!tc.trigger_category.empty() && !tc.oracle_name.empty()) {
+    ++per_category[tc.trigger_category].trigger_by_oracle[tc.oracle_name];
+  }
+  with_unique += tc.has_unique ? 1 : 0;
+  with_primary_key += tc.has_primary_key ? 1 : 0;
+  with_create_index += tc.has_create_index ? 1 : 0;
+  single_table += tc.single_table ? 1 : 0;
+}
+
+double AggregateStats::AverageLoc() const {
+  if (loc_values.empty()) return 0.0;
+  size_t sum = 0;
+  for (size_t v : loc_values) sum += v;
+  return static_cast<double>(sum) / static_cast<double>(loc_values.size());
+}
+
+size_t AggregateStats::MaxLoc() const {
+  size_t max = 0;
+  for (size_t v : loc_values) max = v > max ? v : max;
+  return max;
+}
+
+double AggregateStats::CdfAt(size_t loc) const {
+  if (loc_values.empty()) return 0.0;
+  size_t below = 0;
+  for (size_t v : loc_values) below += v <= loc ? 1 : 0;
+  return static_cast<double>(below) / static_cast<double>(loc_values.size());
+}
+
+TestCaseStats AnalyzeTestCase(const Finding& finding) {
+  TestCaseStats stats;
+  stats.statement_count = finding.statements.size();
+  stats.oracle_name = OracleName(finding.oracle);
+  size_t tables_created = 0;
+  for (const StmtPtr& s : finding.statements) {
+    if (s == nullptr) continue;
+    stats.categories.insert(StatementCategory(*s));
+    switch (s->kind()) {
+      case StmtKind::kCreateTable: {
+        ++tables_created;
+        const auto& ct = static_cast<const CreateTableStmt&>(*s);
+        for (const ColumnDef& col : ct.columns) {
+          stats.has_unique |= col.unique;
+          stats.has_primary_key |= col.primary_key;
+        }
+        break;
+      }
+      case StmtKind::kCreateIndex:
+        stats.has_create_index = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!finding.statements.empty() && finding.statements.back() != nullptr) {
+    stats.trigger_category = StatementCategory(*finding.statements.back());
+  }
+  stats.single_table = tables_created == 1;
+  return stats;
+}
+
+}  // namespace pqs

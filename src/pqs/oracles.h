@@ -1,0 +1,95 @@
+// PQS test oracles and test-case analysis.
+//
+// PQS detects bugs with three oracles (paper §3.3):
+//  - containment: the rectified query must return the pivot row;
+//  - error: a statement the generator guarantees valid must not fail;
+//  - crash: the engine must not die.
+// A Finding is the self-contained evidence for one oracle violation: the
+// full statement log that provoked it (replayable SQL), which oracle fired,
+// and — for containment — the pivot row that went missing.
+#ifndef PQS_SRC_PQS_ORACLES_H_
+#define PQS_SRC_PQS_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/connection.h"
+#include "src/sqlast/ast.h"
+#include "src/sqlvalue/value.h"
+
+namespace pqs {
+
+enum class OracleKind { kContainment, kError, kCrash };
+
+const char* OracleName(OracleKind kind);
+
+struct Finding {
+  OracleKind oracle = OracleKind::kContainment;
+  Dialect dialect = Dialect::kSqliteFlex;
+  // Everything executed on the connection, in order; the statement that
+  // triggered the oracle is last.
+  std::vector<StmtPtr> statements;
+  // Containment only: the joined pivot row the query should have returned.
+  std::vector<SqlValue> pivot;
+  std::string message;
+  uint64_t seed = 0;
+
+  Finding() = default;
+  Finding(Finding&&) = default;
+  Finding& operator=(Finding&&) = default;
+
+  // Deep copy (statements own their ASTs).
+  Finding Clone() const;
+};
+
+// Containment check used by the runner and the reducer: does the result set
+// contain `pivot` as one of its rows?
+bool ResultContainsRow(const StatementResult& result,
+                       const std::vector<SqlValue>& pivot);
+
+// ---------------------------------------------------------------------------
+// Reduced-test-case analysis (Figures 2 and 3, §4.3)
+// ---------------------------------------------------------------------------
+
+struct TestCaseStats {
+  size_t statement_count = 0;
+  std::set<std::string> categories;   // statement categories present
+  std::string trigger_category;       // category of the triggering statement
+  std::string oracle_name;            // oracle that fired
+  bool has_unique = false;            // UNIQUE column constraint present
+  bool has_primary_key = false;
+  bool has_create_index = false;
+  bool single_table = false;          // exactly one table created
+};
+
+struct CategoryStat {
+  size_t test_cases_containing = 0;
+  // Oracle name → number of test cases whose triggering statement has this
+  // category and fired that oracle.
+  std::map<std::string, size_t> trigger_by_oracle;
+};
+
+struct AggregateStats {
+  size_t total_cases = 0;
+  std::vector<size_t> loc_values;  // statement counts, one per test case
+  std::map<std::string, CategoryStat> per_category;
+  size_t with_unique = 0;
+  size_t with_primary_key = 0;
+  size_t with_create_index = 0;
+  size_t single_table = 0;
+
+  void Add(const TestCaseStats& tc);
+  double AverageLoc() const;
+  size_t MaxLoc() const;
+  // Fraction of test cases with statement count <= loc.
+  double CdfAt(size_t loc) const;
+};
+
+TestCaseStats AnalyzeTestCase(const Finding& finding);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_PQS_ORACLES_H_

@@ -1,0 +1,193 @@
+#include "src/pqs/reducer.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace pqs {
+
+namespace {
+
+// Multiset equality of result rows (row order is engine-defined and may
+// legitimately differ once rows are dropped).
+bool SameResultRows(const StatementResult& a, const StatementResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  auto row_less = [](const std::vector<SqlValue>& x,
+                     const std::vector<SqlValue>& y) {
+    if (x.size() != y.size()) return x.size() < y.size();
+    for (size_t i = 0; i < x.size(); ++i) {
+      int c = ValueCompare(x[i], y[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::vector<std::vector<SqlValue>> sa = a.rows;
+  std::vector<std::vector<SqlValue>> sb = b.rows;
+  std::sort(sa.begin(), sa.end(), row_less);
+  std::sort(sb.begin(), sb.end(), row_less);
+  for (size_t r = 0; r < sa.size(); ++r) {
+    if (sa[r].size() != sb[r].size()) return false;
+    for (size_t c = 0; c < sa[r].size(); ++c) {
+      if (!ValueEquals(sa[r][c], sb[r][c])) return false;
+    }
+  }
+  return true;
+}
+
+// Replays all statements but the last; returns false if the engine died.
+// Setup errors (e.g. an INSERT whose CREATE TABLE was removed) are
+// tolerated — the final differential decides whether the candidate still
+// reproduces.
+bool ReplaySetup(Connection* conn, const std::vector<StmtPtr>& statements) {
+  for (size_t i = 0; i + 1 < statements.size(); ++i) {
+    if (statements[i] == nullptr) continue;
+    StatementResult r = conn->Execute(*statements[i]);
+    if (r.status == StatementStatus::kCrash ||
+        r.status == StatementStatus::kUnsupported) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Reproduces(const EngineFactory& buggy,
+                const std::vector<StmtPtr>& statements, OracleKind oracle,
+                const std::vector<SqlValue>& pivot,
+                const EngineFactory* reference) {
+  if (statements.empty() || statements.back() == nullptr) return false;
+  ConnectionPtr buggy_conn = buggy();
+  if (buggy_conn == nullptr) return false;
+  if (!ReplaySetup(buggy_conn.get(), statements)) return false;
+  StatementResult buggy_result = buggy_conn->Execute(*statements.back());
+
+  StatementResult reference_result;
+  bool have_reference = false;
+  if (reference != nullptr) {
+    ConnectionPtr ref_conn = (*reference)();
+    if (ref_conn != nullptr && ReplaySetup(ref_conn.get(), statements)) {
+      reference_result = ref_conn->Execute(*statements.back());
+      have_reference = true;
+    }
+  }
+
+  switch (oracle) {
+    case OracleKind::kCrash:
+      if (buggy_result.status != StatementStatus::kCrash) return false;
+      return !have_reference ||
+             reference_result.status != StatementStatus::kCrash;
+    case OracleKind::kError:
+      if (buggy_result.status != StatementStatus::kError &&
+          buggy_result.status != StatementStatus::kConstraintViolation) {
+        return false;
+      }
+      return !have_reference || reference_result.ok();
+    case OracleKind::kContainment:
+      if (!buggy_result.ok()) return false;
+      if (have_reference) {
+        return reference_result.ok() &&
+               !SameResultRows(buggy_result, reference_result);
+      }
+      // Pivot-based fallback when no reference engine is available.
+      return !pivot.empty() && !ResultContainsRow(buggy_result, pivot);
+  }
+  return false;
+}
+
+// Splits every multi-row INSERT into single-row INSERT statements.
+std::vector<StmtPtr> NormalizeStatements(
+    const std::vector<StmtPtr>& statements) {
+  std::vector<StmtPtr> out;
+  for (const StmtPtr& stmt : statements) {
+    if (stmt == nullptr) continue;
+    if (stmt->kind() == StmtKind::kInsert) {
+      const auto& insert = static_cast<const InsertStmt&>(*stmt);
+      if (insert.rows.size() > 1) {
+        for (const auto& row : insert.rows) {
+          auto single = std::make_unique<InsertStmt>();
+          single->table_name = insert.table_name;
+          single->rows.emplace_back();
+          for (const ExprPtr& v : row) {
+            single->rows.back().push_back(v ? v->Clone() : nullptr);
+          }
+          out.push_back(std::move(single));
+        }
+        continue;
+      }
+    }
+    out.push_back(stmt->Clone());
+  }
+  return out;
+}
+
+std::vector<StmtPtr> CloneStatements(const std::vector<StmtPtr>& statements) {
+  std::vector<StmtPtr> out;
+  out.reserve(statements.size());
+  for (const StmtPtr& s : statements) {
+    out.push_back(s ? s->Clone() : nullptr);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool FindingReproduces(const EngineFactory& buggy, const Finding& finding,
+                       const EngineFactory* reference) {
+  return Reproduces(buggy, finding.statements, finding.oracle, finding.pivot,
+                    reference);
+}
+
+Finding ReduceFinding(const EngineFactory& buggy, const Finding& finding,
+                      const EngineFactory* reference) {
+  Finding out;
+  out.oracle = finding.oracle;
+  out.dialect = finding.dialect;
+  out.pivot = finding.pivot;
+  out.message = finding.message;
+  out.seed = finding.seed;
+
+  std::vector<StmtPtr> current = NormalizeStatements(finding.statements);
+  if (!Reproduces(buggy, current, finding.oracle, finding.pivot, reference)) {
+    // Normalization (or the finding itself) does not replay; return the
+    // original statements untouched.
+    out.statements = CloneStatements(finding.statements);
+    return out;
+  }
+
+  // Greedy ddmin over the setup prefix; the triggering statement (last) is
+  // pinned. Chunk sizes halve from n/2 down to 1; repeat whole passes until
+  // none removes anything.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    size_t setup = current.size() - 1;
+    size_t chunk = setup / 2 > 0 ? setup / 2 : 1;
+    while (true) {
+      size_t start = 0;
+      while (start < current.size() - 1) {
+        size_t end = start + chunk;
+        if (end > current.size() - 1) end = current.size() - 1;
+        std::vector<StmtPtr> candidate;
+        candidate.reserve(current.size() - (end - start));
+        for (size_t i = 0; i < current.size(); ++i) {
+          if (i >= start && i < end) continue;
+          candidate.push_back(current[i]->Clone());
+        }
+        if (Reproduces(buggy, candidate, finding.oracle, finding.pivot,
+                       reference)) {
+          current = std::move(candidate);
+          progress = true;
+          // Keep `start` in place: later statements shifted left into it.
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+
+  out.statements = std::move(current);
+  return out;
+}
+
+}  // namespace pqs

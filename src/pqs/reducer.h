@@ -1,0 +1,33 @@
+// Delta-debugging reduction of findings (paper §3.5, Figure 2).
+//
+// A raw finding carries every statement that built the database state plus
+// the triggering statement. Reduction first normalizes multi-row INSERTs
+// into single-row ones (statement-level granularity is what Figure 2
+// measures), then greedily removes statement chunks while the finding still
+// reproduces. Reproduction is checked differentially when a reference
+// factory is supplied: the reduced script must still make the buggy engine
+// disagree with the reference engine (or crash/error where the reference
+// does not).
+#ifndef PQS_SRC_PQS_REDUCER_H_
+#define PQS_SRC_PQS_REDUCER_H_
+
+#include "src/engine/connection.h"
+#include "src/pqs/oracles.h"
+
+namespace pqs {
+
+// Returns a reduced copy of `finding`. `buggy` must produce engines
+// exhibiting the bug; `reference` (optional but strongly recommended)
+// produces clean engines for the differential check. The input finding is
+// not modified.
+Finding ReduceFinding(const EngineFactory& buggy, const Finding& finding,
+                      const EngineFactory* reference = nullptr);
+
+// True if replaying `finding`'s statements still triggers its oracle, using
+// the same decision procedure the reducer uses. Exposed for tests.
+bool FindingReproduces(const EngineFactory& buggy, const Finding& finding,
+                       const EngineFactory* reference);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_PQS_REDUCER_H_

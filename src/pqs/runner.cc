@@ -1,0 +1,226 @@
+#include "src/pqs/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/interp/eval.h"
+
+namespace pqs {
+
+namespace {
+
+// Clones the first `count` statements of `plan` (the setup prefix executed
+// so far), optionally appending `last`. Only called when a finding is
+// recorded, so the common path never copies ASTs.
+std::vector<StmtPtr> CloneLog(const DatabasePlan& plan, size_t count,
+                              const Stmt* last) {
+  std::vector<StmtPtr> out;
+  out.reserve(count + 1);
+  for (size_t i = 0; i < count && i < plan.statements.size(); ++i) {
+    out.push_back(plan.statements[i]->Clone());
+  }
+  if (last != nullptr) out.push_back(last->Clone());
+  return out;
+}
+
+}  // namespace
+
+PqsRunner::PqsRunner(EngineFactory factory, RunnerOptions options)
+    : factory_(std::move(factory)), options_(options) {}
+
+RunReport PqsRunner::Run() {
+  RunReport report;
+  Rng master(options_.seed);
+
+  for (int db_index = 0; db_index < options_.databases; ++db_index) {
+    // One independent stream per database: the number of random draws one
+    // database consumes never shifts the next database's choices.
+    Rng rng = master.Fork();
+    ConnectionPtr conn = factory_();
+    if (conn == nullptr) break;
+    Dialect dialect = conn->dialect();
+    Generator generator(options_.gen, dialect);
+    DatabasePlan plan = generator.GenerateDatabase(&rng);
+    ++report.stats.databases_created;
+
+    bool finding_in_db = false;
+    auto record = [&](Finding finding) {
+      finding.dialect = dialect;
+      finding.seed = options_.seed;
+      report.findings.push_back(std::move(finding));
+      finding_in_db = true;
+    };
+
+    // --- Setup phase: DDL + DML. ---------------------------------------
+    size_t setup_done = 0;
+    for (const StmtPtr& stmt : plan.statements) {
+      StatementResult result = conn->Execute(*stmt);
+      ++report.stats.statements_executed;
+      ++setup_done;
+      if (result.status == StatementStatus::kConstraintViolation) {
+        ++report.stats.constraint_violations;
+        continue;
+      }
+      if (result.status == StatementStatus::kUnsupported) {
+        report.unsupported_engine = true;
+        return report;
+      }
+      if (result.status == StatementStatus::kError ||
+          result.status == StatementStatus::kCrash) {
+        Finding finding;
+        finding.oracle = result.status == StatementStatus::kError
+                             ? OracleKind::kError
+                             : OracleKind::kCrash;
+        finding.statements = CloneLog(plan, setup_done, nullptr);
+        finding.message = result.error;
+        record(std::move(finding));
+        break;
+      }
+    }
+    if (finding_in_db) {
+      if (options_.stop_on_first_finding) return report;
+      continue;
+    }
+
+    // --- Query phase. ---------------------------------------------------
+    for (int q = 0; q < options_.queries_per_database && !finding_in_db;
+         ++q) {
+      std::vector<const TableSchema*> from =
+          generator.PickFromTables(plan, &rng);
+
+      // Pivot selection through the Connection API: fetch each FROM
+      // table's rows and pick one at random (paper §3.2 step 2).
+      RowSchema pivot_schema;
+      std::vector<SqlValue> pivot;
+      bool have_pivot = true;
+      for (const TableSchema* table : from) {
+        SelectStmt fetch;
+        fetch.from_tables = {table->name};
+        StatementResult rows = conn->Execute(fetch);
+        ++report.stats.statements_executed;
+        if (rows.status == StatementStatus::kUnsupported) {
+          report.unsupported_engine = true;
+          return report;
+        }
+        if (rows.status == StatementStatus::kError ||
+            rows.status == StatementStatus::kCrash ||
+            rows.status == StatementStatus::kConstraintViolation) {
+          Finding finding;
+          finding.oracle = rows.status == StatementStatus::kCrash
+                               ? OracleKind::kCrash
+                               : OracleKind::kError;
+          finding.statements =
+              CloneLog(plan, plan.statements.size(), &fetch);
+          finding.message = rows.error;
+          record(std::move(finding));
+          have_pivot = false;
+          break;
+        }
+        if (rows.rows.empty()) {
+          have_pivot = false;  // all inserts into this table were rejected
+          ++report.stats.queries_skipped;
+          break;
+        }
+        const auto& row = rows.rows[rng.Below(rows.rows.size())];
+        for (size_t c = 0; c < table->columns.size() && c < row.size();
+             ++c) {
+          pivot_schema.cols.emplace_back(table->name,
+                                         table->columns[c].name);
+          pivot.push_back(row[c]);
+        }
+      }
+      if (!have_pivot) continue;
+
+      ExprPtr predicate = generator.GeneratePredicate(from, &rng);
+
+      // Algorithm 3: evaluate the raw predicate on the pivot with
+      // reference semantics, tally the branch, and rectify to TRUE.
+      EvalContext ground_truth{dialect, nullptr};
+      RowView pivot_view{&pivot_schema, &pivot};
+      bool eval_error = false;
+      Bool3 raw =
+          EvaluatePredicate(*predicate, pivot_view, ground_truth,
+                            &eval_error);
+      if (eval_error) {
+        // The generator statically prevents this; defensive skip.
+        ++report.stats.queries_skipped;
+        continue;
+      }
+      // The raw outcome is tallied in both modes (the ablation bench
+      // prints it either way); rectification additionally wraps the
+      // predicate so it is TRUE on the pivot.
+      switch (raw) {
+        case Bool3::kTrue:
+          ++report.stats.rectified_true;
+          break;
+        case Bool3::kFalse:
+          ++report.stats.rectified_false;
+          break;
+        case Bool3::kNull:
+          ++report.stats.rectified_null;
+          break;
+      }
+      ExprPtr where;
+      if (!options_.gen.rectify || raw == Bool3::kTrue) {
+        where = std::move(predicate);
+      } else if (raw == Bool3::kFalse) {
+        where = MakeUnary(UnaryOp::kNot, std::move(predicate));
+      } else {
+        where = MakeIsNull(std::move(predicate), /*negated=*/false);
+      }
+
+      SelectStmt query;
+      for (const TableSchema* table : from) {
+        query.from_tables.push_back(table->name);
+      }
+      query.where = std::move(where);
+
+      StatementResult result = conn->Execute(query);
+      ++report.stats.statements_executed;
+      ++report.stats.queries_checked;
+      if (result.status == StatementStatus::kUnsupported) {
+        report.unsupported_engine = true;
+        return report;
+      }
+      if (result.status == StatementStatus::kCrash) {
+        Finding finding;
+        finding.oracle = OracleKind::kCrash;
+        finding.statements = CloneLog(plan, plan.statements.size(), &query);
+        finding.message = result.error;
+        record(std::move(finding));
+        break;
+      }
+      if (result.status == StatementStatus::kError ||
+          result.status == StatementStatus::kConstraintViolation) {
+        Finding finding;
+        finding.oracle = OracleKind::kError;
+        finding.statements = CloneLog(plan, plan.statements.size(), &query);
+        finding.message = result.error;
+        record(std::move(finding));
+        break;
+      }
+      if (options_.gen.rectify && !ResultContainsRow(result, pivot)) {
+        Finding finding;
+        finding.oracle = OracleKind::kContainment;
+        finding.statements = CloneLog(plan, plan.statements.size(), &query);
+        finding.pivot = pivot;
+        std::string row_text;
+        for (const SqlValue& v : pivot) {
+          if (!row_text.empty()) row_text += ", ";
+          row_text += v.ToDisplay();
+        }
+        finding.message = "pivot row (" + row_text +
+                          ") missing from a rectified query's result of " +
+                          std::to_string(result.rows.size()) + " rows";
+        record(std::move(finding));
+        break;
+      }
+    }
+
+    if (finding_in_db && options_.stop_on_first_finding) return report;
+  }
+  return report;
+}
+
+}  // namespace pqs

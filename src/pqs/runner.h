@@ -1,0 +1,56 @@
+// The PQS loop (paper Algorithm 1): generate a database, pick a pivot row,
+// synthesize a rectified query, and check the three oracles.
+#ifndef PQS_SRC_PQS_RUNNER_H_
+#define PQS_SRC_PQS_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/connection.h"
+#include "src/pqs/generator.h"
+#include "src/pqs/oracles.h"
+
+namespace pqs {
+
+struct RunnerOptions {
+  uint64_t seed = 1;
+  int databases = 10;
+  int queries_per_database = 20;
+  bool stop_on_first_finding = false;
+  GeneratorOptions gen;
+};
+
+struct RunStats {
+  uint64_t statements_executed = 0;  // every Execute() on the connection
+  uint64_t queries_checked = 0;      // oracle-checked SELECTs
+  uint64_t queries_skipped = 0;      // e.g. a FROM table was empty
+  uint64_t databases_created = 0;
+  // Algorithm-3 branch tallies: raw predicate outcome on the pivot row.
+  uint64_t rectified_true = 0;
+  uint64_t rectified_false = 0;
+  uint64_t rectified_null = 0;
+  uint64_t constraint_violations = 0;  // tolerated INSERT rejections
+};
+
+struct RunReport {
+  RunStats stats;
+  std::vector<Finding> findings;
+  // True when the engine answered kUnsupported (e.g. stub SQLite adapter);
+  // the run ends early and reports whatever it had.
+  bool unsupported_engine = false;
+};
+
+class PqsRunner {
+ public:
+  PqsRunner(EngineFactory factory, RunnerOptions options);
+
+  RunReport Run();
+
+ private:
+  EngineFactory factory_;
+  RunnerOptions options_;
+};
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_PQS_RUNNER_H_

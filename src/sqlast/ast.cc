@@ -1,0 +1,232 @@
+#include "src/sqlast/ast.h"
+
+#include <algorithm>
+
+namespace pqs {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->uop = uop;
+  out->bop = bop;
+  out->negated = negated;
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) {
+    out->args.push_back(a ? a->Clone() : nullptr);
+  }
+  return out;
+}
+
+int Expr::Depth() const {
+  int deepest = 0;
+  for (const ExprPtr& a : args) {
+    if (a) deepest = std::max(deepest, a->Depth());
+  }
+  return deepest + 1;
+}
+
+bool Expr::ContainsKind(ExprKind k) const {
+  if (kind == k) return true;
+  for (const ExprPtr& a : args) {
+    if (a && a->ContainsKind(k)) return true;
+  }
+  return false;
+}
+
+bool Expr::ContainsBinaryOp(BinaryOp op) const {
+  if (kind == ExprKind::kBinary && bop == op) return true;
+  for (const ExprPtr& a : args) {
+    if (a && a->ContainsBinaryOp(op)) return true;
+  }
+  return false;
+}
+
+size_t Expr::CountBinaryOp(BinaryOp op) const {
+  size_t count = (kind == ExprKind::kBinary && bop == op) ? 1 : 0;
+  for (const ExprPtr& a : args) {
+    if (a) count += a->CountBinaryOp(op);
+  }
+  return count;
+}
+
+bool Expr::ContainsIsNull(bool negated_form) const {
+  if (kind == ExprKind::kIsNull && negated == negated_form) return true;
+  for (const ExprPtr& a : args) {
+    if (a && a->ContainsIsNull(negated_form)) return true;
+  }
+  return false;
+}
+
+bool Expr::ContainsColumnColumnCompare() const {
+  if (kind == ExprKind::kBinary && IsComparisonOp(bop) && args.size() == 2 &&
+      args[0] && args[1] && args[0]->kind == ExprKind::kColumnRef &&
+      args[1]->kind == ExprKind::kColumnRef) {
+    return true;
+  }
+  for (const ExprPtr& a : args) {
+    if (a && a->ContainsColumnColumnCompare()) return true;
+  }
+  return false;
+}
+
+ExprPtr MakeLiteral(SqlValue v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeIntLiteral(int64_t v) { return MakeLiteral(SqlValue::Int(v)); }
+ExprPtr MakeRealLiteral(double v) { return MakeLiteral(SqlValue::Real(v)); }
+ExprPtr MakeTextLiteral(std::string v) {
+  return MakeLiteral(SqlValue::Text(std::move(v)));
+}
+ExprPtr MakeNullLiteral() { return MakeLiteral(SqlValue::Null()); }
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->uop = op;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bop = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->negated = negated;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeInList(ExprPtr probe, std::vector<ExprPtr> list, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInList;
+  e->negated = negated;
+  e->args.push_back(std::move(probe));
+  for (ExprPtr& item : list) e->args.push_back(std::move(item));
+  return e;
+}
+
+ExprPtr MakeBetween(ExprPtr value, ExprPtr lo, ExprPtr hi, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBetween;
+  e->negated = negated;
+  e->args.push_back(std::move(value));
+  e->args.push_back(std::move(lo));
+  e->args.push_back(std::move(hi));
+  return e;
+}
+
+ExprPtr MakeLike(ExprPtr value, ExprPtr pattern, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLike;
+  e->negated = negated;
+  e->args.push_back(std::move(value));
+  e->args.push_back(std::move(pattern));
+  return e;
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmeticOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+StmtPtr CreateTableStmt::Clone() const {
+  auto out = std::make_unique<CreateTableStmt>();
+  out->table_name = table_name;
+  out->columns = columns;
+  return out;
+}
+
+StmtPtr CreateIndexStmt::Clone() const {
+  auto out = std::make_unique<CreateIndexStmt>();
+  out->index_name = index_name;
+  out->table_name = table_name;
+  out->columns = columns;
+  out->unique = unique;
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+StmtPtr InsertStmt::Clone() const {
+  auto out = std::make_unique<InsertStmt>();
+  out->table_name = table_name;
+  out->rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    out->rows.emplace_back();
+    out->rows.back().reserve(row.size());
+    for (const ExprPtr& v : row) {
+      out->rows.back().push_back(v ? v->Clone() : nullptr);
+    }
+  }
+  return out;
+}
+
+StmtPtr SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->select_list.reserve(select_list.size());
+  for (const ExprPtr& e : select_list) {
+    out->select_list.push_back(e ? e->Clone() : nullptr);
+  }
+  out->from_tables = from_tables;
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+const char* StatementCategory(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kCreateTable:
+      return "CREATE TABLE";
+    case StmtKind::kCreateIndex:
+      return "CREATE INDEX";
+    case StmtKind::kInsert:
+      return "INSERT";
+    case StmtKind::kSelect:
+      return "SELECT";
+  }
+  return "?";
+}
+
+}  // namespace pqs

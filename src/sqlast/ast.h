@@ -1,0 +1,168 @@
+// Typed SQL statement and expression AST.
+//
+// The generator produces these nodes, the MiniDB engine interprets them
+// directly, and the sqlparser module renders them to SQL text for real
+// engines (and for human-readable bug reports). Statements are modeled as a
+// small class hierarchy because test cases are heterogeneous statement
+// lists; expressions are a single tagged node because the evaluator wants
+// one uniform recursion.
+#ifndef PQS_SRC_SQLAST_AST_H_
+#define PQS_SRC_SQLAST_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sqlvalue/value.h"
+
+namespace pqs {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,    // NOT e, -e
+  kBinary,   // comparison / logical / arithmetic / concat
+  kIsNull,   // e IS [NOT] NULL
+  kInList,   // e [NOT] IN (v, ...)
+  kBetween,  // e [NOT] BETWEEN lo AND hi
+  kLike,     // e [NOT] LIKE pattern
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kConcat,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  SqlValue literal;                  // kLiteral
+  std::string table;                 // kColumnRef (may be empty = unqualified)
+  std::string column;                // kColumnRef
+  UnaryOp uop = UnaryOp::kNot;       // kUnary
+  BinaryOp bop = BinaryOp::kEq;      // kBinary
+  bool negated = false;              // IS NOT NULL / NOT IN / NOT BETWEEN /
+                                     // NOT LIKE
+  std::vector<ExprPtr> args;         // operands; kInList: args[0] is the
+                                     // probe, args[1..] the list; kBetween:
+                                     // {value, lo, hi}; kLike: {value,
+                                     // pattern}
+
+  ExprPtr Clone() const;
+  // Height of the expression tree (a literal is 1).
+  int Depth() const;
+  bool ContainsKind(ExprKind k) const;
+  bool ContainsBinaryOp(BinaryOp op) const;
+  // Count of nodes matching a predicate-free structural query.
+  size_t CountBinaryOp(BinaryOp op) const;
+  // True if some kIsNull node with the given negation exists.
+  bool ContainsIsNull(bool negated_form) const;
+  // True if some kBinary comparison has column refs on both sides.
+  bool ContainsColumnColumnCompare() const;
+};
+
+ExprPtr MakeIntLiteral(int64_t v);
+ExprPtr MakeRealLiteral(double v);
+ExprPtr MakeTextLiteral(std::string v);
+ExprPtr MakeNullLiteral();
+ExprPtr MakeLiteral(SqlValue v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+ExprPtr MakeInList(ExprPtr probe, std::vector<ExprPtr> list, bool negated);
+ExprPtr MakeBetween(ExprPtr value, ExprPtr lo, ExprPtr hi, bool negated);
+ExprPtr MakeLike(ExprPtr value, ExprPtr pattern, bool negated);
+
+bool IsComparisonOp(BinaryOp op);
+bool IsArithmeticOp(BinaryOp op);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct ColumnDef {
+  std::string name;
+  std::string declared_type;  // e.g. "INT", "REAL", "TEXT" (display only)
+  Affinity affinity = Affinity::kText;
+  bool unique = false;
+  bool primary_key = false;
+  bool not_null = false;
+};
+
+enum class StmtKind { kCreateTable, kCreateIndex, kInsert, kSelect };
+
+struct Stmt {
+  virtual ~Stmt() = default;
+  virtual StmtKind kind() const = 0;
+  virtual std::unique_ptr<Stmt> Clone() const = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CreateTableStmt : Stmt {
+  std::string table_name;
+  std::vector<ColumnDef> columns;
+
+  StmtKind kind() const override { return StmtKind::kCreateTable; }
+  StmtPtr Clone() const override;
+};
+
+struct CreateIndexStmt : Stmt {
+  std::string index_name;
+  std::string table_name;
+  std::vector<std::string> columns;
+  bool unique = false;
+  ExprPtr where;  // non-null ⇒ partial index
+
+  StmtKind kind() const override { return StmtKind::kCreateIndex; }
+  StmtPtr Clone() const override;
+};
+
+struct InsertStmt : Stmt {
+  std::string table_name;
+  // One entry per inserted row; each row lists one literal expression per
+  // table column, in declaration order.
+  std::vector<std::vector<ExprPtr>> rows;
+
+  StmtKind kind() const override { return StmtKind::kInsert; }
+  StmtPtr Clone() const override;
+};
+
+struct SelectStmt : Stmt {
+  // Empty select_list means `SELECT *` over all FROM-table columns in
+  // declaration order.
+  std::vector<ExprPtr> select_list;
+  std::vector<std::string> from_tables;
+  ExprPtr where;  // may be null
+
+  StmtKind kind() const override { return StmtKind::kSelect; }
+  StmtPtr Clone() const override;
+};
+
+// Figure-3 statement category ("CREATE TABLE", "INSERT", ...).
+const char* StatementCategory(const Stmt& stmt);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_SQLAST_AST_H_

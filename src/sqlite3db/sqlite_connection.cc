@@ -1,0 +1,117 @@
+#include "src/sqlite3db/sqlite_connection.h"
+
+#include "src/sqlparser/render.h"
+
+#ifndef PQS_HAVE_SQLITE3
+#define PQS_HAVE_SQLITE3 0
+#endif
+
+#if PQS_HAVE_SQLITE3
+#include <sqlite3.h>
+#endif
+
+namespace pqs {
+
+#if PQS_HAVE_SQLITE3
+
+SqliteConnection::SqliteConnection() {
+  if (sqlite3_open(":memory:", &db_) != SQLITE_OK) {
+    alive_ = false;
+    if (db_ != nullptr) {
+      sqlite3_close(db_);
+      db_ = nullptr;
+    }
+  }
+}
+
+SqliteConnection::~SqliteConnection() {
+  if (db_ != nullptr) sqlite3_close(db_);
+}
+
+std::string SqliteConnection::EngineName() const {
+  return std::string("sqlite-") + sqlite3_libversion();
+}
+
+std::string SqliteConnection::LibraryVersion() {
+  return sqlite3_libversion();
+}
+
+bool SqliteConnection::Available() { return true; }
+
+StatementResult SqliteConnection::Execute(const Stmt& stmt) {
+  if (!alive_ || db_ == nullptr) {
+    return StatementResult::Failure(StatementStatus::kCrash,
+                                    "sqlite connection unavailable");
+  }
+  std::string sql = RenderStmt(stmt, Dialect::kSqliteFlex);
+  sqlite3_stmt* prepared = nullptr;
+  int rc = sqlite3_prepare_v2(db_, sql.c_str(), -1, &prepared, nullptr);
+  if (rc != SQLITE_OK) {
+    StatementStatus status = rc == SQLITE_CONSTRAINT
+                                 ? StatementStatus::kConstraintViolation
+                                 : StatementStatus::kError;
+    return StatementResult::Failure(status, sqlite3_errmsg(db_));
+  }
+  StatementResult result;
+  int columns = sqlite3_column_count(prepared);
+  for (int c = 0; c < columns; ++c) {
+    const char* name = sqlite3_column_name(prepared, c);
+    result.column_names.push_back(name != nullptr ? name : "");
+  }
+  while ((rc = sqlite3_step(prepared)) == SQLITE_ROW) {
+    std::vector<SqlValue> row;
+    row.reserve(static_cast<size_t>(columns));
+    for (int c = 0; c < columns; ++c) {
+      switch (sqlite3_column_type(prepared, c)) {
+        case SQLITE_NULL:
+          row.push_back(SqlValue::Null());
+          break;
+        case SQLITE_INTEGER:
+          row.push_back(SqlValue::Int(sqlite3_column_int64(prepared, c)));
+          break;
+        case SQLITE_FLOAT:
+          row.push_back(SqlValue::Real(sqlite3_column_double(prepared, c)));
+          break;
+        default: {
+          const unsigned char* text = sqlite3_column_text(prepared, c);
+          row.push_back(SqlValue::Text(
+              text != nullptr ? reinterpret_cast<const char*>(text) : ""));
+          break;
+        }
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  if (rc != SQLITE_DONE) {
+    int base = rc & 0xff;
+    sqlite3_finalize(prepared);
+    StatementStatus status = base == SQLITE_CONSTRAINT
+                                 ? StatementStatus::kConstraintViolation
+                                 : StatementStatus::kError;
+    return StatementResult::Failure(status, sqlite3_errmsg(db_));
+  }
+  sqlite3_finalize(prepared);
+  return result;
+}
+
+#else  // !PQS_HAVE_SQLITE3
+
+SqliteConnection::SqliteConnection() { alive_ = true; }
+SqliteConnection::~SqliteConnection() = default;
+
+std::string SqliteConnection::EngineName() const { return "sqlite-stub"; }
+
+std::string SqliteConnection::LibraryVersion() { return "unavailable"; }
+
+bool SqliteConnection::Available() { return false; }
+
+StatementResult SqliteConnection::Execute(const Stmt& stmt) {
+  (void)stmt;
+  return StatementResult::Failure(
+      StatementStatus::kUnsupported,
+      "built without libsqlite3; SqliteConnection is a stub");
+}
+
+#endif  // PQS_HAVE_SQLITE3
+
+}  // namespace pqs

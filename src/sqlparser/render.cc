@@ -1,0 +1,162 @@
+#include "src/sqlparser/render.h"
+
+namespace pqs {
+
+namespace {
+
+const char* BinaryOpToken(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+std::string ColumnRefText(const Expr& e) {
+  if (e.table.empty()) return e.column;
+  return e.table + "." + e.column;
+}
+
+}  // namespace
+
+std::string RenderExpr(const Expr& expr, Dialect dialect) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return ColumnRefText(expr);
+    case ExprKind::kUnary: {
+      std::string inner = RenderExpr(*expr.args[0], dialect);
+      if (expr.uop == UnaryOp::kNot) return "(NOT " + inner + ")";
+      return "(-" + inner + ")";
+    }
+    case ExprKind::kBinary:
+      return "(" + RenderExpr(*expr.args[0], dialect) + " " +
+             BinaryOpToken(expr.bop) + " " +
+             RenderExpr(*expr.args[1], dialect) + ")";
+    case ExprKind::kIsNull:
+      return "(" + RenderExpr(*expr.args[0], dialect) +
+             (expr.negated ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kInList: {
+      std::string out = "(" + RenderExpr(*expr.args[0], dialect) +
+                        (expr.negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < expr.args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += RenderExpr(*expr.args[i], dialect);
+      }
+      return out + "))";
+    }
+    case ExprKind::kBetween:
+      return "(" + RenderExpr(*expr.args[0], dialect) +
+             (expr.negated ? " NOT BETWEEN " : " BETWEEN ") +
+             RenderExpr(*expr.args[1], dialect) + " AND " +
+             RenderExpr(*expr.args[2], dialect) + ")";
+    case ExprKind::kLike:
+      return "(" + RenderExpr(*expr.args[0], dialect) +
+             (expr.negated ? " NOT LIKE " : " LIKE ") +
+             RenderExpr(*expr.args[1], dialect) + ")";
+  }
+  return "?";
+}
+
+std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
+  switch (stmt.kind()) {
+    case StmtKind::kCreateTable: {
+      const auto& ct = static_cast<const CreateTableStmt&>(stmt);
+      std::string out = "CREATE TABLE " + ct.table_name + " (";
+      for (size_t i = 0; i < ct.columns.size(); ++i) {
+        const ColumnDef& col = ct.columns[i];
+        if (i > 0) out += ", ";
+        out += col.name + " " + col.declared_type;
+        if (col.primary_key) out += " PRIMARY KEY";
+        if (col.unique) out += " UNIQUE";
+        if (col.not_null) out += " NOT NULL";
+      }
+      return out + ")";
+    }
+    case StmtKind::kCreateIndex: {
+      const auto& ci = static_cast<const CreateIndexStmt&>(stmt);
+      std::string out = "CREATE ";
+      if (ci.unique) out += "UNIQUE ";
+      out += "INDEX " + ci.index_name + " ON " + ci.table_name + " (";
+      for (size_t i = 0; i < ci.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ci.columns[i];
+      }
+      out += ")";
+      if (ci.where) out += " WHERE " + RenderExpr(*ci.where, dialect);
+      return out;
+    }
+    case StmtKind::kInsert: {
+      const auto& ins = static_cast<const InsertStmt&>(stmt);
+      std::string out = "INSERT INTO " + ins.table_name + " VALUES ";
+      for (size_t r = 0; r < ins.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (size_t c = 0; c < ins.rows[r].size(); ++c) {
+          if (c > 0) out += ", ";
+          out += RenderExpr(*ins.rows[r][c], dialect);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case StmtKind::kSelect: {
+      const auto& sel = static_cast<const SelectStmt&>(stmt);
+      std::string out = "SELECT ";
+      if (sel.select_list.empty()) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < sel.select_list.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += RenderExpr(*sel.select_list[i], dialect);
+        }
+      }
+      out += " FROM ";
+      for (size_t i = 0; i < sel.from_tables.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += sel.from_tables[i];
+      }
+      if (sel.where) out += " WHERE " + RenderExpr(*sel.where, dialect);
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string RenderScript(const std::vector<StmtPtr>& statements,
+                         Dialect dialect) {
+  std::string out;
+  for (const StmtPtr& s : statements) {
+    if (s == nullptr) continue;
+    out += RenderStmt(*s, dialect);
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace pqs

@@ -1,0 +1,56 @@
+// Campaign layer: every registered bug is huntable, and the per-dialect
+// detection shape matches the paper's (SQLite most findings, containment
+// the dominant oracle).
+#include "src/minidb/bug_registry.h"
+#include "src/pqs/campaign.h"
+#include "tests/test_util.h"
+
+namespace pqs {
+namespace {
+
+void TestRegistryShape() {
+  const auto& registry = minidb::BugRegistry();
+  CHECK_EQ(registry.size(), static_cast<size_t>(kNumBugIds));
+  size_t sqlite = minidb::BugsForDialect(Dialect::kSqliteFlex).size();
+  size_t mysql = minidb::BugsForDialect(Dialect::kMysqlLike).size();
+  size_t postgres = minidb::BugsForDialect(Dialect::kPostgresStrict).size();
+  CHECK_EQ(sqlite + mysql + postgres, registry.size());
+  CHECK(sqlite > mysql);
+  CHECK(mysql > postgres);
+}
+
+void TestCampaignDetectsMostBugs() {
+  CampaignOptions options;
+  options.seed = 20200604;
+  options.databases_per_bug = 250;
+  options.queries_per_database = 25;
+  options.reduce = false;  // speed: reduction has its own test
+  size_t total = 0;
+  size_t detected = 0;
+  for (Dialect dialect : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
+                          Dialect::kPostgresStrict}) {
+    CampaignReport report = RunCampaign(dialect, options);
+    total += report.results.size();
+    detected += report.DetectedCount();
+    for (const BugHuntResult& r : report.results) {
+      if (!r.detected) {
+        printf("  (undetected in budget: %s)\n", r.name);
+      } else {
+        // The firing oracle should match the registry's expectation.
+        CHECK_MSG(r.oracle == minidb::LookupBug(r.bug).oracle,
+                  "bug %s fired %s", r.name, OracleName(r.oracle));
+      }
+    }
+  }
+  CHECK_MSG(detected * 4 >= total * 3, "detected only %zu of %zu bugs",
+            detected, total);
+}
+
+}  // namespace
+}  // namespace pqs
+
+int main() {
+  pqs::TestRegistryShape();
+  pqs::TestCampaignDetectsMostBugs();
+  return pqs::test::Summary("test_campaign");
+}

@@ -1,0 +1,49 @@
+// Minimal assertion helpers for the ctest unit tests (no external test
+// framework is baked into the image, and these tests don't need one).
+#ifndef PQS_TESTS_TEST_UTIL_H_
+#define PQS_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pqs {
+namespace test {
+
+inline int failures = 0;
+
+#define CHECK_MSG(cond, ...)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ++pqs::test::failures;                                          \
+      std::printf("FAIL %s:%d: %s\n     ", __FILE__, __LINE__, #cond); \
+      std::printf(__VA_ARGS__);                                       \
+      std::printf("\n");                                              \
+    }                                                                 \
+  } while (0)
+
+#define CHECK(cond) CHECK_MSG(cond, "%s", "")
+
+#define CHECK_EQ(a, b)                                                       \
+  do {                                                                       \
+    auto va = (a);                                                           \
+    auto vb = (b);                                                           \
+    if (!(va == vb)) {                                                       \
+      ++pqs::test::failures;                                                 \
+      std::printf("FAIL %s:%d: %s == %s\n", __FILE__, __LINE__, #a, #b);     \
+    }                                                                        \
+  } while (0)
+
+inline int Summary(const char* name) {
+  if (failures == 0) {
+    std::printf("PASS: %s\n", name);
+    return 0;
+  }
+  std::printf("%d failure(s) in %s\n", failures, name);
+  return 1;
+}
+
+}  // namespace test
+}  // namespace pqs
+
+#endif  // PQS_TESTS_TEST_UTIL_H_
