@@ -5,6 +5,7 @@
 #define PQS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/pqs/campaign.h"
@@ -35,6 +36,49 @@ inline const char* DialectDisplayName(Dialect d) {
       return "PostgreSQL (minidb dialect)";
   }
   return "?";
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Writes one machine-readable result artifact next to the stdout table.
+// `filename` should follow the BENCH_<name>.json convention so the perf
+// trajectory tooling picks it up; PQS_BENCH_JSON_DIR overrides the
+// destination directory (default: current working directory).
+inline void WriteBenchJson(const std::string& filename,
+                           const std::string& body) {
+  const char* dir = std::getenv("PQS_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/" + filename
+                         : filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("[wrote %s]\n", path.c_str());
 }
 
 }  // namespace bench

@@ -19,13 +19,9 @@ void PrintFigure2() {
   CampaignOptions options = bench::DefaultCampaignOptions();
   for (Dialect d : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
                     Dialect::kPostgresStrict}) {
+    // Pool the dialects by value-merging each campaign's aggregate.
     CampaignReport report = RunCampaign(d, options);
-    AggregateStats dialect_agg = report.Aggregate();
-    for (size_t loc : dialect_agg.loc_values) {
-      TestCaseStats tc;
-      tc.statement_count = loc;
-      agg.Add(tc);
-    }
+    agg.Merge(report.Aggregate());
   }
   printf("reduced test cases: %zu\n", agg.total_cases);
   printf("average LOC: %.2f   (paper: 3.71)\n", agg.AverageLoc());

@@ -23,6 +23,9 @@ void PrintTable3() {
   size_t sum_error = 0;
   size_t sum_crash = 0;
   CampaignOptions options = bench::DefaultCampaignOptions();
+  // The campaigns run sharded; the merged report is identical to workers=1.
+  options.workers = 4;
+  std::string rows_json;
   for (Dialect d : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
                     Dialect::kPostgresStrict}) {
     CampaignReport report = RunCampaign(d, options);
@@ -34,10 +37,29 @@ void PrintTable3() {
     sum_crash += crash;
     printf("%-28s %9zu %7zu %9zu\n", bench::DialectDisplayName(d), contains,
            error, crash);
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"dbms\": \"%s\", \"contains\": %zu, \"error\": %zu, "
+                  "\"segfault\": %zu},\n",
+                  bench::JsonEscape(bench::DialectDisplayName(d)).c_str(),
+                  contains, error, crash);
+    rows_json += buf;
   }
   printf("%-28s %9zu %7zu %9zu\n", "Sum", sum_contains, sum_error, sum_crash);
   printf("(paper: 61 / 34 / 4 — expect contains > error > segfault, and the\n"
          " PostgreSQL row skewed toward the error oracle)\n");
+
+  char sum_buf[160];
+  std::snprintf(sum_buf, sizeof sum_buf,
+                "    {\"dbms\": \"Sum\", \"contains\": %zu, \"error\": %zu, "
+                "\"segfault\": %zu}\n",
+                sum_contains, sum_error, sum_crash);
+  bench::WriteBenchJson(
+      "BENCH_table3_oracles.json",
+      std::string("{\n  \"bench\": \"table3_oracles\",\n"
+                  "  \"paper\": {\"contains\": 61, \"error\": 34, "
+                  "\"segfault\": 4},\n  \"rows\": [\n") +
+          rows_json + sum_buf + "  ]\n}");
 }
 
 void BM_FullCampaignOneDialect(benchmark::State& state) {

@@ -75,19 +75,25 @@ void PrintTable4() {
       "Table 4b: MiniDB feature coverage after a PQS session");
   for (Dialect d : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
                     Dialect::kPostgresStrict}) {
-    // Drive one session; per-database coverage is merged into `merged`.
+    // Drive one sharded session. Each worker marks coverage into its own
+    // map (the sink must not be shared across threads) and the per-worker
+    // maps value-merge into the session totals at the end.
     RunnerOptions opts;
     opts.seed = 77;
     opts.databases = 25;
     opts.queries_per_database = 30;
-    minidb::CoverageMap merged;
-    EngineFactory factory = [d, &merged]() -> ConnectionPtr {
+    opts.workers = 4;
+    std::vector<minidb::CoverageMap> per_worker(opts.workers);
+    WorkerEngineFactory factory = [d, &per_worker](int worker)
+        -> ConnectionPtr {
       auto db = std::make_unique<minidb::Database>(d);
-      db->set_coverage_sink(&merged);
+      db->set_coverage_sink(&per_worker[worker]);
       return db;
     };
-    PqsRunner runner(factory, opts);
+    PqsRunner runner(std::move(factory), opts);
     RunReport report = runner.Run();
+    minidb::CoverageMap merged;
+    for (const minidb::CoverageMap& m : per_worker) merged.Merge(m);
     printf("  %-28s features covered: %3zu / %zu  (%.1f%%)   [%llu stmts]\n",
            bench::DialectDisplayName(d), merged.CoveredFeatures(),
            minidb::kNumFeatures, 100.0 * merged.CoverageRatio(),

@@ -2,8 +2,21 @@
 // 20,000 statements per second, depending on the DBMS under test."
 //
 // Measures end-to-end PQS statement throughput (generation + execution +
-// oracle checking) per engine, including the real SQLite adapter.
+// oracle checking) per engine, including the real SQLite adapter, and
+// sweeps the sharded runner's worker count (`--workers N`, default 4) over
+// one fixed workload. The sweep prints aggregate tests/sec per worker
+// count and writes BENCH_throughput.json for the perf trajectory. The
+// merged report is seed-deterministic at every worker count, so the sweep
+// also doubles as a quick sanity check that sharding changes nothing but
+// the wall clock.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/minidb/database.h"
@@ -14,14 +27,103 @@ namespace pqs {
 
 namespace {
 
-void RunThroughput(benchmark::State& state, EngineFactory factory) {
+struct SweepPoint {
+  int workers = 1;
+  double seconds = 0;
+  double statements_per_second = 0;
+  double tests_per_second = 0;  // oracle-checked queries ("tests")
+  uint64_t statements = 0;
+  uint64_t tests = 0;
+};
+
+SweepPoint MeasureWorkers(int workers) {
+  RunnerOptions opts;
+  opts.seed = 20200604;
+  opts.databases = 192;
+  opts.queries_per_database = 25;
+  opts.workers = workers;
+  EngineFactory factory = []() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+  };
+
+  SweepPoint point;
+  point.workers = workers;
+  point.seconds = 1e30;
+  // Best of three repetitions: the workload is identical each time, so the
+  // minimum is the least-noisy estimate of the achievable rate.
+  for (int rep = 0; rep < 3; ++rep) {
+    PqsRunner runner(factory, opts);
+    auto start = std::chrono::steady_clock::now();
+    RunReport report = runner.Run();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() < point.seconds) {
+      point.seconds = elapsed.count();
+      point.statements = report.stats.statements_executed;
+      point.tests = report.stats.queries_checked;
+    }
+  }
+  if (point.seconds > 0) {
+    point.statements_per_second =
+        static_cast<double>(point.statements) / point.seconds;
+    point.tests_per_second = static_cast<double>(point.tests) / point.seconds;
+  }
+  return point;
+}
+
+void RunWorkerSweep(int max_workers) {
+  std::vector<int> counts;
+  for (int w = 1; w < max_workers; w *= 2) counts.push_back(w);
+  counts.push_back(max_workers);
+
+  unsigned cores = std::thread::hardware_concurrency();
+  bench::PrintHeader("Worker sweep: aggregate PQS throughput");
+  printf("(minidb sqlite dialect, fixed seed; %u hardware thread(s) —\n"
+         " speedup saturates at the core count)\n", cores);
+  printf("%8s %10s %16s %12s %8s\n", "workers", "seconds", "stmts/sec",
+         "tests/sec", "speedup");
+
+  std::vector<SweepPoint> sweep;
+  for (int w : counts) sweep.push_back(MeasureWorkers(w));
+  double base = sweep.front().tests_per_second;
+  for (const SweepPoint& p : sweep) {
+    printf("%8d %10.4f %16.0f %12.0f %7.2fx\n", p.workers, p.seconds,
+           p.statements_per_second, p.tests_per_second,
+           base > 0 ? p.tests_per_second / base : 0.0);
+  }
+
+  std::string json = "{\n  \"bench\": \"throughput\",\n";
+  json += "  \"engine\": \"minidb-sqlite\",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(cores) + ",\n";
+  json += "  \"databases\": 192,\n  \"queries_per_database\": 25,\n";
+  json += "  \"worker_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"workers\": %d, \"seconds\": %.6f, "
+                  "\"statements_per_second\": %.1f, "
+                  "\"tests_per_second\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+                  p.workers, p.seconds, p.statements_per_second,
+                  p.tests_per_second,
+                  base > 0 ? p.tests_per_second / base : 0.0,
+                  i + 1 < sweep.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}";
+  bench::WriteBenchJson("BENCH_throughput.json", json);
+}
+
+void RunThroughput(benchmark::State& state, EngineFactory factory,
+                   int workers = 1, int databases = 2) {
   uint64_t statements = 0;
   uint64_t seed = 1;
   for (auto _ : state) {
     RunnerOptions opts;
     opts.seed = seed++;
-    opts.databases = 2;
+    opts.databases = databases;
     opts.queries_per_database = 20;
+    opts.workers = workers;
     PqsRunner runner(factory, opts);
     RunReport report = runner.Run();
     statements += report.stats.statements_executed;
@@ -42,6 +144,26 @@ BENCHMARK(BM_PqsThroughputMinidb)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PqsThroughputMinidbSharded(benchmark::State& state) {
+  int workers = static_cast<int>(state.range(0));
+  // 8 databases per run so every swept worker count (the runner clamps
+  // workers to the database count) actually runs that many workers.
+  RunThroughput(
+      state,
+      []() -> ConnectionPtr {
+        return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+      },
+      workers, /*databases=*/8);
+}
+// Real time, not main-thread CPU time: the workers burn their CPU off the
+// timed thread, so CPU-relative rates would be wildly inflated.
+BENCHMARK(BM_PqsThroughputMinidbSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PqsThroughputRealSqlite(benchmark::State& state) {
   RunThroughput(state, []() -> ConnectionPtr {
     return std::make_unique<SqliteConnection>();
@@ -52,4 +174,23 @@ BENCHMARK(BM_PqsThroughputRealSqlite)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace pqs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own --workers flag before google-benchmark sees the args.
+  int max_workers = 4;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      max_workers = std::atoi(argv[i + 1]);
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (max_workers < 1) max_workers = 1;
+
+  pqs::RunWorkerSweep(max_workers);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

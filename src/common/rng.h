@@ -41,6 +41,23 @@ class Rng {
   // query to one database does not shift every later database's choices).
   Rng Fork() { return Rng(Next()); }
 
+  // Derives the seed of the `stream`-th independent substream of `seed`
+  // (splitmix64 stream splitting). Distinct stream indexes provably yield
+  // distinct seeds for the same base: stream -> seed is a composition of
+  // bijections on uint64 (odd-constant multiply, add, finalizer), so the
+  // worker/per-database streams split from one run seed can never collide
+  // with each other. The finalizer additionally decorrelates the derived
+  // state from the base orbit, so the derivation nests well (campaign seed
+  // -> per-bug seed -> per-database seed); across *different* bases the
+  // distinctness is only statistical (~2^-64 per pair), as with any seed
+  // hashing.
+  static uint64_t StreamSeed(uint64_t seed, uint64_t stream) {
+    uint64_t z = seed + (stream + 1) * kStreamGolden;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   template <typename T>
   T Pick(std::initializer_list<T> options) {
     auto it = options.begin();
@@ -50,6 +67,9 @@ class Rng {
 
  private:
   static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  // Distinct odd constant for stream derivation so substream seeds are not
+  // drawn from the master sequence's own additive orbit.
+  static constexpr uint64_t kStreamGolden = 0xd1b54a32d192ed03ULL;
   uint64_t state_;
 };
 

@@ -74,6 +74,13 @@ class Connection {
 
   // False once the engine has crashed; Execute returns kCrash from then on.
   virtual bool alive() const { return true; }
+
+  // Restores the connection to a fresh, empty database — equivalent to a
+  // newly factory-produced connection (same dialect, same bug config) but
+  // without paying for construction. Returns false when the engine cannot
+  // reset in place; callers must then fall back to the factory. A crashed
+  // connection that resets successfully is alive again.
+  virtual bool Reset() { return false; }
 };
 
 using ConnectionPtr = std::unique_ptr<Connection>;
@@ -81,7 +88,21 @@ using ConnectionPtr = std::unique_ptr<Connection>;
 // Factory producing a fresh, empty database. The runner creates one
 // connection per generated database state, so factories must be cheap and
 // must not share mutable state between the connections they produce.
+// Sharded runs call the factory concurrently from several worker threads,
+// so it must also be thread-safe (stateless closures trivially are).
 using EngineFactory = std::function<ConnectionPtr()>;
+
+// Worker-aware factory: `worker` is the 0-based index of the campaign
+// worker asking, so callers can hand each worker thread its own coverage
+// sink or other per-thread state and merge at join. Must be safe to call
+// concurrently from distinct workers. Caveat: under stop_on_first_finding
+// with workers > 1, shards past the terminating database may run
+// speculatively before the stop propagates — their results are discarded
+// from the merged report (which stays deterministic), but any side effects
+// they left in external sinks are not rolled back, so sink contents are
+// timing-dependent in that mode. Merge external sinks only in runs without
+// early exit (the bench_table4 pattern).
+using WorkerEngineFactory = std::function<ConnectionPtr(int worker)>;
 
 const char* DialectName(Dialect d);
 

@@ -85,7 +85,10 @@ class CoverageMap {
     return total;
   }
 
-  void MergeFrom(const CoverageMap& other) {
+  // Value merge: adds `other`'s hit counts into this map. Merging the
+  // per-worker maps of a sharded run in any order yields the same totals
+  // as a single-threaded run over the same shard plan (addition commutes).
+  void Merge(const CoverageMap& other) {
     for (size_t i = 0; i < kNumFeatures; ++i) hits_[i] += other.hits_[i];
   }
 

@@ -104,6 +104,13 @@ std::string Database::EngineName() const {
   return std::string("minidb-") + DialectName(dialect_);
 }
 
+bool Database::Reset() {
+  tables_.clear();
+  indexes_.clear();
+  alive_ = true;
+  return true;
+}
+
 StatementResult Database::Crash(const std::string& why) {
   alive_ = false;
   return StatementResult::Failure(StatementStatus::kCrash,

@@ -30,6 +30,10 @@ class Database : public Connection {
   Dialect dialect() const override { return dialect_; }
   std::string EngineName() const override;
   bool alive() const override { return alive_; }
+  // In-place reset back to an empty database. Dialect, bug config, and the
+  // coverage sink are preserved; data, indexes, and a simulated crash are
+  // not. The reducer relies on this to reuse one connection per reduction.
+  bool Reset() override;
 
   // Feature coverage is recorded into an external sink so a whole session's
   // connections can share one map (bench_table4). Null disables tracking.

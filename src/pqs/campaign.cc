@@ -1,8 +1,11 @@
 #include "src/pqs/campaign.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
 
+#include "src/common/rng.h"
 #include "src/minidb/bug_registry.h"
 #include "src/minidb/database.h"
 #include "src/pqs/reducer.h"
@@ -73,13 +76,17 @@ BugHuntResult HuntBug(BugId bug, const CampaignOptions& options) {
   };
 
   RunnerOptions runner_options;
-  // Decorrelate per-bug streams; the campaign seed still fully determines
-  // every hunt.
+  // Decorrelate per-bug streams via splitmix64 stream splitting; the
+  // campaign seed still fully determines every hunt, and the per-bug seeds
+  // derived from it can never collide with each other (per-database
+  // streams nested under different bug seeds are distinct only
+  // statistically, like any hashed seeds).
   runner_options.seed =
-      options.seed + 0x51ed2701u * (static_cast<uint64_t>(bug) + 1);
+      Rng::StreamSeed(options.seed, static_cast<uint64_t>(bug));
   runner_options.databases = options.databases_per_bug;
   runner_options.queries_per_database = options.queries_per_database;
   runner_options.stop_on_first_finding = true;
+  runner_options.workers = options.workers;
   runner_options.gen = options.gen;
 
   PqsRunner runner(buggy, runner_options);
@@ -100,9 +107,40 @@ BugHuntResult HuntBug(BugId bug, const CampaignOptions& options) {
 CampaignReport RunCampaign(Dialect dialect, const CampaignOptions& options) {
   CampaignReport report;
   report.dialect = dialect;
-  for (const minidb::BugInfo& info : minidb::BugsForDialect(dialect)) {
-    report.results.push_back(HuntBug(info.id, options));
+  std::vector<minidb::BugInfo> bugs = minidb::BugsForDialect(dialect);
+
+  int workers = options.workers;
+  if (workers > static_cast<int>(bugs.size())) {
+    workers = static_cast<int>(bugs.size());
   }
+  if (workers <= 1) {
+    for (const minidb::BugInfo& info : bugs) {
+      report.results.push_back(HuntBug(info.id, options));
+    }
+    return report;
+  }
+
+  // Shard the bug list across the workers. Every hunt consumes only its own
+  // stream-split seed, so result slot `i` is the same no matter which worker
+  // claims it or in which order — the merged report is identical to the
+  // sequential one. Each hunt runs single-threaded here (workers = 1);
+  // the campaign already owns the parallelism, and nesting sharded runners
+  // inside sharded hunts would oversubscribe the machine.
+  CampaignOptions hunt_options = options;
+  hunt_options.workers = 1;
+  report.results.resize(bugs.size());
+  std::atomic<size_t> next_bug{0};
+  auto worker_main = [&]() {
+    for (;;) {
+      size_t i = next_bug.fetch_add(1, std::memory_order_relaxed);
+      if (i >= bugs.size()) break;
+      report.results[i] = HuntBug(bugs[i].id, hunt_options);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main);
+  for (std::thread& t : threads) t.join();
   return report;
 }
 

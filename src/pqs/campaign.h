@@ -30,6 +30,13 @@ struct CampaignOptions {
   // ...with this many oracle-checked queries each.
   int queries_per_database = 20;
   bool reduce = true;
+  // Worker threads. RunCampaign shards the dialect's bug list across the
+  // workers (each hunt is an independent RNG stream, so the merged report
+  // is identical for every worker count); a standalone HuntBug instead
+  // hands the workers to its runner's shard plan. Either way the paper's
+  // "many concurrent fuzzing threads per DBMS" shape is preserved without
+  // giving up seed determinism.
+  int workers = 1;
   GeneratorOptions gen;
 };
 

@@ -59,6 +59,23 @@ void AggregateStats::Add(const TestCaseStats& tc) {
   single_table += tc.single_table ? 1 : 0;
 }
 
+void AggregateStats::Merge(const AggregateStats& other) {
+  total_cases += other.total_cases;
+  loc_values.insert(loc_values.end(), other.loc_values.begin(),
+                    other.loc_values.end());
+  for (const auto& [category, stat] : other.per_category) {
+    CategoryStat& mine = per_category[category];
+    mine.test_cases_containing += stat.test_cases_containing;
+    for (const auto& [oracle, count] : stat.trigger_by_oracle) {
+      mine.trigger_by_oracle[oracle] += count;
+    }
+  }
+  with_unique += other.with_unique;
+  with_primary_key += other.with_primary_key;
+  with_create_index += other.with_create_index;
+  single_table += other.single_table;
+}
+
 double AggregateStats::AverageLoc() const {
   if (loc_values.empty()) return 0.0;
   size_t sum = 0;

@@ -82,6 +82,9 @@ struct AggregateStats {
   size_t single_table = 0;
 
   void Add(const TestCaseStats& tc);
+  // Value merge of per-shard aggregates: Merge(a, b) of disjoint shards
+  // equals Add()-ing every underlying test case into one aggregate.
+  void Merge(const AggregateStats& other);
   double AverageLoc() const;
   size_t MaxLoc() const;
   // Fraction of test cases with statement count <= loc.

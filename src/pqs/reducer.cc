@@ -50,24 +50,54 @@ bool ReplaySetup(Connection* conn, const std::vector<StmtPtr>& statements) {
   return true;
 }
 
-bool Reproduces(const EngineFactory& buggy,
+// Holds one buggy and one reference connection for the lifetime of a
+// reduction. A ddmin reduction runs hundreds of replay probes; engines
+// whose Connection::Reset() can clear back to an empty database are
+// constructed once and recycled across probes instead of once per probe.
+// Engines without in-place reset transparently fall back to the factory.
+class ProbeEngines {
+ public:
+  ProbeEngines(const EngineFactory& buggy, const EngineFactory* reference)
+      : buggy_factory_(buggy), reference_factory_(reference) {}
+
+  // A fresh, empty buggy engine; null if the factory failed.
+  Connection* FreshBuggy() { return Fresh(buggy_factory_, &buggy_conn_); }
+
+  // A fresh, empty reference engine; null if none was supplied or the
+  // factory failed.
+  Connection* FreshReference() {
+    if (reference_factory_ == nullptr) return nullptr;
+    return Fresh(*reference_factory_, &reference_conn_);
+  }
+
+ private:
+  static Connection* Fresh(const EngineFactory& factory, ConnectionPtr* slot) {
+    if (*slot != nullptr && (*slot)->Reset()) return slot->get();
+    *slot = factory();
+    return slot->get();
+  }
+
+  const EngineFactory& buggy_factory_;
+  const EngineFactory* reference_factory_;
+  ConnectionPtr buggy_conn_;
+  ConnectionPtr reference_conn_;
+};
+
+bool Reproduces(ProbeEngines& engines,
                 const std::vector<StmtPtr>& statements, OracleKind oracle,
-                const std::vector<SqlValue>& pivot,
-                const EngineFactory* reference) {
+                const std::vector<SqlValue>& pivot) {
   if (statements.empty() || statements.back() == nullptr) return false;
-  ConnectionPtr buggy_conn = buggy();
+  Connection* buggy_conn = engines.FreshBuggy();
   if (buggy_conn == nullptr) return false;
-  if (!ReplaySetup(buggy_conn.get(), statements)) return false;
+  if (!ReplaySetup(buggy_conn, statements)) return false;
   StatementResult buggy_result = buggy_conn->Execute(*statements.back());
 
   StatementResult reference_result;
   bool have_reference = false;
-  if (reference != nullptr) {
-    ConnectionPtr ref_conn = (*reference)();
-    if (ref_conn != nullptr && ReplaySetup(ref_conn.get(), statements)) {
-      reference_result = ref_conn->Execute(*statements.back());
-      have_reference = true;
-    }
+  Connection* ref_conn = engines.FreshReference();
+  if (ref_conn != nullptr && ReplaySetup(ref_conn, statements)) {
+    reference_result = ref_conn->Execute(*statements.back());
+    have_reference = true;
   }
 
   switch (oracle) {
@@ -132,8 +162,9 @@ std::vector<StmtPtr> CloneStatements(const std::vector<StmtPtr>& statements) {
 
 bool FindingReproduces(const EngineFactory& buggy, const Finding& finding,
                        const EngineFactory* reference) {
-  return Reproduces(buggy, finding.statements, finding.oracle, finding.pivot,
-                    reference);
+  ProbeEngines engines(buggy, reference);
+  return Reproduces(engines, finding.statements, finding.oracle,
+                    finding.pivot);
 }
 
 Finding ReduceFinding(const EngineFactory& buggy, const Finding& finding,
@@ -145,8 +176,11 @@ Finding ReduceFinding(const EngineFactory& buggy, const Finding& finding,
   out.message = finding.message;
   out.seed = finding.seed;
 
+  // One connection pair serves every probe of this reduction.
+  ProbeEngines engines(buggy, reference);
+
   std::vector<StmtPtr> current = NormalizeStatements(finding.statements);
-  if (!Reproduces(buggy, current, finding.oracle, finding.pivot, reference)) {
+  if (!Reproduces(engines, current, finding.oracle, finding.pivot)) {
     // Normalization (or the finding itself) does not replay; return the
     // original statements untouched.
     out.statements = CloneStatements(finding.statements);
@@ -172,8 +206,7 @@ Finding ReduceFinding(const EngineFactory& buggy, const Finding& finding,
           if (i >= start && i < end) continue;
           candidate.push_back(current[i]->Clone());
         }
-        if (Reproduces(buggy, candidate, finding.oracle, finding.pivot,
-                       reference)) {
+        if (Reproduces(engines, candidate, finding.oracle, finding.pivot)) {
           current = std::move(candidate);
           progress = true;
           // Keep `start` in place: later statements shifted left into it.

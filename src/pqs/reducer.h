@@ -7,7 +7,9 @@
 // reproduces. Reproduction is checked differentially when a reference
 // factory is supplied: the reduced script must still make the buggy engine
 // disagree with the reference engine (or crash/error where the reference
-// does not).
+// does not). One buggy and one reference connection serve all probes of a
+// reduction — engines supporting Connection::Reset() are recycled in place
+// instead of being re-constructed per ddmin probe.
 #ifndef PQS_SRC_PQS_REDUCER_H_
 #define PQS_SRC_PQS_REDUCER_H_
 

@@ -1,6 +1,8 @@
 #include "src/pqs/runner.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "src/common/rng.h"
@@ -24,201 +26,318 @@ std::vector<StmtPtr> CloneLog(const DatabasePlan& plan, size_t count,
   return out;
 }
 
+// Outcome of one database of the shard plan. Merging these in db_index
+// order reconstructs exactly what the sequential loop would have reported.
+struct DbRunResult {
+  RunStats stats;
+  std::vector<Finding> findings;
+  bool unsupported_engine = false;
+  bool factory_failed = false;  // factory returned null; run ends before it
+};
+
+// One iteration of the Algorithm 1+3 loop: build a database from its
+// private RNG stream, then pivot-check queries against the oracles. This
+// body is what the paper runs in every fuzzing thread; workers execute it
+// unchanged and only the merge below is sharding-aware.
+DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
+                           const RunnerOptions& options, uint64_t db_seed) {
+  DbRunResult out;
+  Rng rng(db_seed);
+  ConnectionPtr conn = factory(worker);
+  if (conn == nullptr) {
+    out.factory_failed = true;
+    return out;
+  }
+  Dialect dialect = conn->dialect();
+  Generator generator(options.gen, dialect);
+  DatabasePlan plan = generator.GenerateDatabase(&rng);
+  ++out.stats.databases_created;
+
+  bool finding_in_db = false;
+  auto record = [&](Finding finding) {
+    finding.dialect = dialect;
+    finding.seed = options.seed;
+    out.findings.push_back(std::move(finding));
+    finding_in_db = true;
+  };
+
+  // --- Setup phase: DDL + DML. ---------------------------------------
+  size_t setup_done = 0;
+  for (const StmtPtr& stmt : plan.statements) {
+    StatementResult result = conn->Execute(*stmt);
+    ++out.stats.statements_executed;
+    ++setup_done;
+    if (result.status == StatementStatus::kConstraintViolation) {
+      ++out.stats.constraint_violations;
+      continue;
+    }
+    if (result.status == StatementStatus::kUnsupported) {
+      out.unsupported_engine = true;
+      return out;
+    }
+    if (result.status == StatementStatus::kError ||
+        result.status == StatementStatus::kCrash) {
+      Finding finding;
+      finding.oracle = result.status == StatementStatus::kError
+                           ? OracleKind::kError
+                           : OracleKind::kCrash;
+      finding.statements = CloneLog(plan, setup_done, nullptr);
+      finding.message = result.error;
+      record(std::move(finding));
+      break;
+    }
+  }
+  if (finding_in_db) return out;
+
+  // --- Query phase. ---------------------------------------------------
+  for (int q = 0; q < options.queries_per_database && !finding_in_db; ++q) {
+    std::vector<const TableSchema*> from =
+        generator.PickFromTables(plan, &rng);
+
+    // Pivot selection through the Connection API: fetch each FROM
+    // table's rows and pick one at random (paper §3.2 step 2).
+    RowSchema pivot_schema;
+    std::vector<SqlValue> pivot;
+    bool have_pivot = true;
+    for (const TableSchema* table : from) {
+      SelectStmt fetch;
+      fetch.from_tables = {table->name};
+      StatementResult rows = conn->Execute(fetch);
+      ++out.stats.statements_executed;
+      if (rows.status == StatementStatus::kUnsupported) {
+        out.unsupported_engine = true;
+        return out;
+      }
+      if (rows.status == StatementStatus::kError ||
+          rows.status == StatementStatus::kCrash ||
+          rows.status == StatementStatus::kConstraintViolation) {
+        Finding finding;
+        finding.oracle = rows.status == StatementStatus::kCrash
+                             ? OracleKind::kCrash
+                             : OracleKind::kError;
+        finding.statements =
+            CloneLog(plan, plan.statements.size(), &fetch);
+        finding.message = rows.error;
+        record(std::move(finding));
+        have_pivot = false;
+        break;
+      }
+      if (rows.rows.empty()) {
+        have_pivot = false;  // all inserts into this table were rejected
+        ++out.stats.queries_skipped;
+        break;
+      }
+      const auto& row = rows.rows[rng.Below(rows.rows.size())];
+      for (size_t c = 0; c < table->columns.size() && c < row.size(); ++c) {
+        pivot_schema.cols.emplace_back(table->name, table->columns[c].name);
+        pivot.push_back(row[c]);
+      }
+    }
+    if (!have_pivot) continue;
+
+    ExprPtr predicate = generator.GeneratePredicate(from, &rng);
+
+    // Algorithm 3: evaluate the raw predicate on the pivot with
+    // reference semantics, tally the branch, and rectify to TRUE.
+    EvalContext ground_truth{dialect, nullptr};
+    RowView pivot_view{&pivot_schema, &pivot};
+    bool eval_error = false;
+    Bool3 raw =
+        EvaluatePredicate(*predicate, pivot_view, ground_truth, &eval_error);
+    if (eval_error) {
+      // The generator statically prevents this; defensive skip.
+      ++out.stats.queries_skipped;
+      continue;
+    }
+    // The raw outcome is tallied in both modes (the ablation bench
+    // prints it either way); rectification additionally wraps the
+    // predicate so it is TRUE on the pivot.
+    switch (raw) {
+      case Bool3::kTrue:
+        ++out.stats.rectified_true;
+        break;
+      case Bool3::kFalse:
+        ++out.stats.rectified_false;
+        break;
+      case Bool3::kNull:
+        ++out.stats.rectified_null;
+        break;
+    }
+    ExprPtr where;
+    if (!options.gen.rectify || raw == Bool3::kTrue) {
+      where = std::move(predicate);
+    } else if (raw == Bool3::kFalse) {
+      where = MakeUnary(UnaryOp::kNot, std::move(predicate));
+    } else {
+      where = MakeIsNull(std::move(predicate), /*negated=*/false);
+    }
+
+    SelectStmt query;
+    for (const TableSchema* table : from) {
+      query.from_tables.push_back(table->name);
+    }
+    query.where = std::move(where);
+
+    StatementResult result = conn->Execute(query);
+    ++out.stats.statements_executed;
+    ++out.stats.queries_checked;
+    if (result.status == StatementStatus::kUnsupported) {
+      out.unsupported_engine = true;
+      return out;
+    }
+    if (result.status == StatementStatus::kCrash) {
+      Finding finding;
+      finding.oracle = OracleKind::kCrash;
+      finding.statements = CloneLog(plan, plan.statements.size(), &query);
+      finding.message = result.error;
+      record(std::move(finding));
+      break;
+    }
+    if (result.status == StatementStatus::kError ||
+        result.status == StatementStatus::kConstraintViolation) {
+      Finding finding;
+      finding.oracle = OracleKind::kError;
+      finding.statements = CloneLog(plan, plan.statements.size(), &query);
+      finding.message = result.error;
+      record(std::move(finding));
+      break;
+    }
+    if (options.gen.rectify && !ResultContainsRow(result, pivot)) {
+      Finding finding;
+      finding.oracle = OracleKind::kContainment;
+      finding.statements = CloneLog(plan, plan.statements.size(), &query);
+      finding.pivot = pivot;
+      std::string row_text;
+      for (const SqlValue& v : pivot) {
+        if (!row_text.empty()) row_text += ", ";
+        row_text += v.ToDisplay();
+      }
+      finding.message = "pivot row (" + row_text +
+                        ") missing from a rectified query's result of " +
+                        std::to_string(result.rows.size()) + " rows";
+      record(std::move(finding));
+      break;
+    }
+  }
+  return out;
+}
+
+// Folds one database's result into the report, in plan order. Returns
+// false when the run terminates at this database: a null factory ends the
+// run before it (sequential `break`), an unsupported engine ends it after
+// its partial stats (sequential early `return`), and under
+// stop_on_first_finding the first database carrying a finding is the last
+// one reported.
+bool MergeDbResult(DbRunResult&& r, bool stop_on_first_finding,
+                   RunReport* report) {
+  if (r.factory_failed) return false;
+  report->stats.Merge(r.stats);
+  bool had_finding = !r.findings.empty();
+  for (Finding& f : r.findings) report->findings.push_back(std::move(f));
+  if (r.unsupported_engine) {
+    report->unsupported_engine = true;
+    return false;
+  }
+  return !(stop_on_first_finding && had_finding);
+}
+
+// True when databases after this one can never reach the merged report.
+bool TerminatesRun(const DbRunResult& r, bool stop_on_first_finding) {
+  return r.factory_failed || r.unsupported_engine ||
+         (stop_on_first_finding && !r.findings.empty());
+}
+
 }  // namespace
 
+void RunStats::Merge(const RunStats& other) {
+  statements_executed += other.statements_executed;
+  queries_checked += other.queries_checked;
+  queries_skipped += other.queries_skipped;
+  databases_created += other.databases_created;
+  rectified_true += other.rectified_true;
+  rectified_false += other.rectified_false;
+  rectified_null += other.rectified_null;
+  constraint_violations += other.constraint_violations;
+}
+
+ShardPlan ShardPlan::Build(uint64_t seed, int databases) {
+  ShardPlan plan;
+  plan.tasks.reserve(databases > 0 ? static_cast<size_t>(databases) : 0);
+  for (int i = 0; i < databases; ++i) {
+    plan.tasks.push_back(
+        Task{i, Rng::StreamSeed(seed, static_cast<uint64_t>(i))});
+  }
+  return plan;
+}
+
 PqsRunner::PqsRunner(EngineFactory factory, RunnerOptions options)
+    : factory_([f = std::move(factory)](int) { return f(); }),
+      options_(options) {}
+
+PqsRunner::PqsRunner(WorkerEngineFactory factory, RunnerOptions options)
     : factory_(std::move(factory)), options_(options) {}
 
 RunReport PqsRunner::Run() {
   RunReport report;
-  Rng master(options_.seed);
+  ShardPlan plan = ShardPlan::Build(options_.seed, options_.databases);
+  size_t task_count = plan.tasks.size();
+  int workers = options_.workers;
+  if (workers < 1) workers = 1;
+  if (static_cast<size_t>(workers) > task_count && task_count > 0) {
+    workers = static_cast<int>(task_count);
+  }
 
-  for (int db_index = 0; db_index < options_.databases; ++db_index) {
-    // One independent stream per database: the number of random draws one
-    // database consumes never shifts the next database's choices.
-    Rng rng = master.Fork();
-    ConnectionPtr conn = factory_();
-    if (conn == nullptr) break;
-    Dialect dialect = conn->dialect();
-    Generator generator(options_.gen, dialect);
-    DatabasePlan plan = generator.GenerateDatabase(&rng);
-    ++report.stats.databases_created;
-
-    bool finding_in_db = false;
-    auto record = [&](Finding finding) {
-      finding.dialect = dialect;
-      finding.seed = options_.seed;
-      report.findings.push_back(std::move(finding));
-      finding_in_db = true;
-    };
-
-    // --- Setup phase: DDL + DML. ---------------------------------------
-    size_t setup_done = 0;
-    for (const StmtPtr& stmt : plan.statements) {
-      StatementResult result = conn->Execute(*stmt);
-      ++report.stats.statements_executed;
-      ++setup_done;
-      if (result.status == StatementStatus::kConstraintViolation) {
-        ++report.stats.constraint_violations;
-        continue;
-      }
-      if (result.status == StatementStatus::kUnsupported) {
-        report.unsupported_engine = true;
-        return report;
-      }
-      if (result.status == StatementStatus::kError ||
-          result.status == StatementStatus::kCrash) {
-        Finding finding;
-        finding.oracle = result.status == StatementStatus::kError
-                             ? OracleKind::kError
-                             : OracleKind::kCrash;
-        finding.statements = CloneLog(plan, setup_done, nullptr);
-        finding.message = result.error;
-        record(std::move(finding));
+  if (workers <= 1) {
+    // Inline path: identical to the classic sequential loop, including the
+    // early exits (no database beyond a terminating one is ever run).
+    for (const ShardPlan::Task& task : plan.tasks) {
+      DbRunResult r = RunOneDatabase(factory_, 0, options_, task.seed);
+      if (!MergeDbResult(std::move(r), options_.stop_on_first_finding,
+                         &report)) {
         break;
       }
     }
-    if (finding_in_db) {
-      if (options_.stop_on_first_finding) return report;
-      continue;
-    }
+    return report;
+  }
 
-    // --- Query phase. ---------------------------------------------------
-    for (int q = 0; q < options_.queries_per_database && !finding_in_db;
-         ++q) {
-      std::vector<const TableSchema*> from =
-          generator.PickFromTables(plan, &rng);
+  // Sharded path: workers claim database indexes in plan order. Claiming is
+  // dynamic (timing-dependent) but each database's work depends only on its
+  // plan seed, so who ran it cannot change what it produced. `stop_before`
+  // is the lowest index known to terminate the run; databases after it are
+  // skipped as wasted work, and any that already ran are discarded by the
+  // in-order merge below, which keeps the merged report byte-identical to
+  // the 1-worker run.
+  std::vector<DbRunResult> results(task_count);
+  std::atomic<size_t> next_task{0};
+  std::atomic<size_t> stop_before{task_count};
+  bool stop_on_first = options_.stop_on_first_finding;
 
-      // Pivot selection through the Connection API: fetch each FROM
-      // table's rows and pick one at random (paper §3.2 step 2).
-      RowSchema pivot_schema;
-      std::vector<SqlValue> pivot;
-      bool have_pivot = true;
-      for (const TableSchema* table : from) {
-        SelectStmt fetch;
-        fetch.from_tables = {table->name};
-        StatementResult rows = conn->Execute(fetch);
-        ++report.stats.statements_executed;
-        if (rows.status == StatementStatus::kUnsupported) {
-          report.unsupported_engine = true;
-          return report;
+  auto worker_main = [&](int worker_index) {
+    for (;;) {
+      size_t i = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (i >= task_count) break;
+      if (i > stop_before.load(std::memory_order_acquire)) break;
+      results[i] =
+          RunOneDatabase(factory_, worker_index, options_, plan.tasks[i].seed);
+      if (TerminatesRun(results[i], stop_on_first)) {
+        size_t current = stop_before.load(std::memory_order_relaxed);
+        while (i < current && !stop_before.compare_exchange_weak(
+                                  current, i, std::memory_order_release)) {
         }
-        if (rows.status == StatementStatus::kError ||
-            rows.status == StatementStatus::kCrash ||
-            rows.status == StatementStatus::kConstraintViolation) {
-          Finding finding;
-          finding.oracle = rows.status == StatementStatus::kCrash
-                               ? OracleKind::kCrash
-                               : OracleKind::kError;
-          finding.statements =
-              CloneLog(plan, plan.statements.size(), &fetch);
-          finding.message = rows.error;
-          record(std::move(finding));
-          have_pivot = false;
-          break;
-        }
-        if (rows.rows.empty()) {
-          have_pivot = false;  // all inserts into this table were rejected
-          ++report.stats.queries_skipped;
-          break;
-        }
-        const auto& row = rows.rows[rng.Below(rows.rows.size())];
-        for (size_t c = 0; c < table->columns.size() && c < row.size();
-             ++c) {
-          pivot_schema.cols.emplace_back(table->name,
-                                         table->columns[c].name);
-          pivot.push_back(row[c]);
-        }
-      }
-      if (!have_pivot) continue;
-
-      ExprPtr predicate = generator.GeneratePredicate(from, &rng);
-
-      // Algorithm 3: evaluate the raw predicate on the pivot with
-      // reference semantics, tally the branch, and rectify to TRUE.
-      EvalContext ground_truth{dialect, nullptr};
-      RowView pivot_view{&pivot_schema, &pivot};
-      bool eval_error = false;
-      Bool3 raw =
-          EvaluatePredicate(*predicate, pivot_view, ground_truth,
-                            &eval_error);
-      if (eval_error) {
-        // The generator statically prevents this; defensive skip.
-        ++report.stats.queries_skipped;
-        continue;
-      }
-      // The raw outcome is tallied in both modes (the ablation bench
-      // prints it either way); rectification additionally wraps the
-      // predicate so it is TRUE on the pivot.
-      switch (raw) {
-        case Bool3::kTrue:
-          ++report.stats.rectified_true;
-          break;
-        case Bool3::kFalse:
-          ++report.stats.rectified_false;
-          break;
-        case Bool3::kNull:
-          ++report.stats.rectified_null;
-          break;
-      }
-      ExprPtr where;
-      if (!options_.gen.rectify || raw == Bool3::kTrue) {
-        where = std::move(predicate);
-      } else if (raw == Bool3::kFalse) {
-        where = MakeUnary(UnaryOp::kNot, std::move(predicate));
-      } else {
-        where = MakeIsNull(std::move(predicate), /*negated=*/false);
-      }
-
-      SelectStmt query;
-      for (const TableSchema* table : from) {
-        query.from_tables.push_back(table->name);
-      }
-      query.where = std::move(where);
-
-      StatementResult result = conn->Execute(query);
-      ++report.stats.statements_executed;
-      ++report.stats.queries_checked;
-      if (result.status == StatementStatus::kUnsupported) {
-        report.unsupported_engine = true;
-        return report;
-      }
-      if (result.status == StatementStatus::kCrash) {
-        Finding finding;
-        finding.oracle = OracleKind::kCrash;
-        finding.statements = CloneLog(plan, plan.statements.size(), &query);
-        finding.message = result.error;
-        record(std::move(finding));
-        break;
-      }
-      if (result.status == StatementStatus::kError ||
-          result.status == StatementStatus::kConstraintViolation) {
-        Finding finding;
-        finding.oracle = OracleKind::kError;
-        finding.statements = CloneLog(plan, plan.statements.size(), &query);
-        finding.message = result.error;
-        record(std::move(finding));
-        break;
-      }
-      if (options_.gen.rectify && !ResultContainsRow(result, pivot)) {
-        Finding finding;
-        finding.oracle = OracleKind::kContainment;
-        finding.statements = CloneLog(plan, plan.statements.size(), &query);
-        finding.pivot = pivot;
-        std::string row_text;
-        for (const SqlValue& v : pivot) {
-          if (!row_text.empty()) row_text += ", ";
-          row_text += v.ToDisplay();
-        }
-        finding.message = "pivot row (" + row_text +
-                          ") missing from a rectified query's result of " +
-                          std::to_string(result.rows.size()) + " rows";
-        record(std::move(finding));
-        break;
       }
     }
+  };
 
-    if (finding_in_db && options_.stop_on_first_finding) return report;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main, w);
+  for (std::thread& t : threads) t.join();
+
+  for (size_t i = 0; i < task_count; ++i) {
+    if (!MergeDbResult(std::move(results[i]),
+                       options_.stop_on_first_finding, &report)) {
+      break;
+    }
   }
   return report;
 }

@@ -1,5 +1,16 @@
 // The PQS loop (paper Algorithm 1): generate a database, pick a pivot row,
 // synthesize a rectified query, and check the three oracles.
+//
+// The loop is sharded: a run is first laid out as a deterministic
+// ShardPlan (one independent RNG stream per database, derived with
+// splitmix64 stream splitting from the run seed), then executed by
+// `RunnerOptions::workers` threads that each run the unchanged
+// Algorithm 1+3 body over the databases they claim. Per-database results
+// are merged back in plan order, so the merged report of an N-worker run
+// is identical to the 1-worker run — including under
+// `stop_on_first_finding`, where merging truncates at the first database
+// whose report carries a finding (exactly where the sequential loop would
+// have returned). See DESIGN.md §6.
 #ifndef PQS_SRC_PQS_RUNNER_H_
 #define PQS_SRC_PQS_RUNNER_H_
 
@@ -17,6 +28,9 @@ struct RunnerOptions {
   int databases = 10;
   int queries_per_database = 20;
   bool stop_on_first_finding = false;
+  // Worker threads executing the shard plan. 1 runs the plan inline on the
+  // calling thread; the merged report is the same for every value.
+  int workers = 1;
   GeneratorOptions gen;
 };
 
@@ -30,6 +44,10 @@ struct RunStats {
   uint64_t rectified_false = 0;
   uint64_t rectified_null = 0;
   uint64_t constraint_violations = 0;  // tolerated INSERT rejections
+
+  // Value merge: adds `other`'s tallies into this one. Merging the
+  // per-shard stats of a run in any order equals the single-run totals.
+  void Merge(const RunStats& other);
 };
 
 struct RunReport {
@@ -40,14 +58,30 @@ struct RunReport {
   bool unsupported_engine = false;
 };
 
+// Deterministic layout of one run: which per-database seed each database
+// index uses. Derived from the run seed alone, never from thread timing,
+// so every worker count executes byte-identical per-database work.
+struct ShardPlan {
+  struct Task {
+    int db_index = 0;
+    uint64_t seed = 0;  // seed of this database's private RNG stream
+  };
+  std::vector<Task> tasks;
+
+  static ShardPlan Build(uint64_t seed, int databases);
+};
+
 class PqsRunner {
  public:
   PqsRunner(EngineFactory factory, RunnerOptions options);
+  // Worker-aware variant: the factory learns which worker thread is asking,
+  // so callers can give each worker its own coverage sink (bench_table4).
+  PqsRunner(WorkerEngineFactory factory, RunnerOptions options);
 
   RunReport Run();
 
  private:
-  EngineFactory factory_;
+  WorkerEngineFactory factory_;
   RunnerOptions options_;
 };
 

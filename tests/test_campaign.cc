@@ -1,12 +1,21 @@
 // Campaign layer: every registered bug is huntable, and the per-dialect
 // detection shape matches the paper's (SQLite most findings, containment
 // the dominant oracle).
+//
+// Accepts `--workers N` to run the campaigns through the sharded engine
+// (the CI ThreadSanitizer job passes 4); the expected results are
+// identical for every worker count.
+#include <cstdlib>
+#include <cstring>
+
 #include "src/minidb/bug_registry.h"
 #include "src/pqs/campaign.h"
 #include "tests/test_util.h"
 
 namespace pqs {
 namespace {
+
+int campaign_workers = 1;
 
 void TestRegistryShape() {
   const auto& registry = minidb::BugRegistry();
@@ -25,6 +34,7 @@ void TestCampaignDetectsMostBugs() {
   options.databases_per_bug = 250;
   options.queries_per_database = 25;
   options.reduce = false;  // speed: reduction has its own test
+  options.workers = campaign_workers;
   size_t total = 0;
   size_t detected = 0;
   for (Dialect dialect : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
@@ -49,7 +59,13 @@ void TestCampaignDetectsMostBugs() {
 }  // namespace
 }  // namespace pqs
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      pqs::campaign_workers = std::atoi(argv[i + 1]);
+      ++i;
+    }
+  }
   pqs::TestRegistryShape();
   pqs::TestCampaignDetectsMostBugs();
   return pqs::test::Summary("test_campaign");

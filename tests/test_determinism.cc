@@ -1,8 +1,13 @@
 // Same-seed determinism: two runs with identical options must produce
-// identical reports, down to the rendered SQL of every finding.
+// identical reports, down to the rendered SQL of every finding — and a
+// sharded N-worker run must merge to exactly the 1-worker report.
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/minidb/database.h"
+#include "src/pqs/campaign.h"
 #include "src/pqs/runner.h"
 #include "src/sqlparser/render.h"
 #include "tests/test_util.h"
@@ -10,11 +15,14 @@
 namespace pqs {
 namespace {
 
-RunReport BuggyRun(uint64_t seed) {
+RunReport BuggyRun(uint64_t seed, int workers = 1,
+                   bool stop_on_first_finding = false) {
   RunnerOptions options;
   options.seed = seed;
   options.databases = 30;
   options.queries_per_database = 15;
+  options.workers = workers;
+  options.stop_on_first_finding = stop_on_first_finding;
   EngineFactory factory = []() -> ConnectionPtr {
     return std::make_unique<minidb::Database>(
         Dialect::kSqliteFlex,
@@ -41,6 +49,89 @@ void TestSameSeedSameReport() {
   }
 }
 
+// Sharded execution is invisible in the merged report: stats, finding
+// order, and rendered SQL all match the sequential run exactly, with and
+// without stop_on_first_finding (where the merge truncates at the first
+// finding-bearing database, just as the sequential loop returns there).
+void TestShardedRunnerMatchesSequential() {
+  for (bool stop_on_first : {false, true}) {
+    RunReport sequential = BuggyRun(123, /*workers=*/1, stop_on_first);
+    for (int workers : {2, 4}) {
+      RunReport sharded = BuggyRun(123, workers, stop_on_first);
+      CHECK_EQ(sharded.stats.statements_executed,
+               sequential.stats.statements_executed);
+      CHECK_EQ(sharded.stats.queries_checked,
+               sequential.stats.queries_checked);
+      CHECK_EQ(sharded.stats.queries_skipped,
+               sequential.stats.queries_skipped);
+      CHECK_EQ(sharded.stats.databases_created,
+               sequential.stats.databases_created);
+      CHECK_EQ(sharded.stats.rectified_true, sequential.stats.rectified_true);
+      CHECK_EQ(sharded.stats.rectified_false,
+               sequential.stats.rectified_false);
+      CHECK_EQ(sharded.stats.rectified_null, sequential.stats.rectified_null);
+      CHECK_EQ(sharded.stats.constraint_violations,
+               sequential.stats.constraint_violations);
+      CHECK_EQ(sharded.findings.size(), sequential.findings.size());
+      for (size_t i = 0;
+           i < sharded.findings.size() && i < sequential.findings.size();
+           ++i) {
+        CHECK(sharded.findings[i].oracle == sequential.findings[i].oracle);
+        CHECK_EQ(
+            RenderScript(sharded.findings[i].statements, Dialect::kSqliteFlex),
+            RenderScript(sequential.findings[i].statements,
+                         Dialect::kSqliteFlex));
+      }
+    }
+  }
+}
+
+// The acceptance invariant of the sharded campaign engine: a 4-worker
+// RunCampaign merges to the same finding set and the same per-bug
+// statement / oracle tallies as the 1-worker campaign (order-insensitive:
+// finding scripts are compared as sorted multisets).
+void TestShardedCampaignMatchesSequential() {
+  CampaignOptions options;
+  options.seed = 20200604;
+  options.databases_per_bug = 120;
+  options.queries_per_database = 20;
+  options.reduce = true;  // reduction must be deterministic too
+
+  auto run = [&](int workers) {
+    CampaignOptions o = options;
+    o.workers = workers;
+    return RunCampaign(Dialect::kSqliteFlex, o);
+  };
+  CampaignReport sequential = run(1);
+  CampaignReport sharded = run(4);
+
+  CHECK_EQ(sharded.results.size(), sequential.results.size());
+  for (size_t i = 0;
+       i < sharded.results.size() && i < sequential.results.size(); ++i) {
+    const BugHuntResult& a = sharded.results[i];
+    const BugHuntResult& b = sequential.results[i];
+    CHECK_EQ(a.detected, b.detected);
+    CHECK(a.oracle == b.oracle);
+    CHECK_EQ(a.statements_used, b.statements_used);
+    CHECK_EQ(a.databases_used, b.databases_used);
+  }
+  for (OracleKind kind : {OracleKind::kContainment, OracleKind::kError,
+                          OracleKind::kCrash}) {
+    CHECK_EQ(sharded.CountByOracle(kind), sequential.CountByOracle(kind));
+  }
+
+  auto finding_set = [](const CampaignReport& report) {
+    std::vector<std::string> scripts;
+    for (const BugHuntResult& r : report.results) {
+      if (!r.detected) continue;
+      scripts.push_back(RenderScript(r.reduced.statements, report.dialect));
+    }
+    std::sort(scripts.begin(), scripts.end());
+    return scripts;
+  };
+  CHECK(finding_set(sharded) == finding_set(sequential));
+}
+
 void TestDifferentSeedsDiffer() {
   // Not a strict requirement of the API, but a sanity check that the seed
   // actually feeds the generator.
@@ -55,6 +146,8 @@ void TestDifferentSeedsDiffer() {
 
 int main() {
   pqs::TestSameSeedSameReport();
+  pqs::TestShardedRunnerMatchesSequential();
+  pqs::TestShardedCampaignMatchesSequential();
   pqs::TestDifferentSeedsDiffer();
   return pqs::test::Summary("test_determinism");
 }

@@ -1,0 +1,157 @@
+// Sharding building blocks: splitmix64 stream splitting gives workers
+// disjoint RNG streams, the shard plan is a pure function of the seed, and
+// the value-merge operations (RunStats, CoverageMap, AggregateStats)
+// reassemble per-shard results into exactly the single-run totals.
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/minidb/coverage.h"
+#include "src/minidb/database.h"
+#include "src/pqs/runner.h"
+#include "tests/test_util.h"
+
+namespace pqs {
+namespace {
+
+void TestStreamSeedsNeverCollide() {
+  std::set<uint64_t> seeds;
+  for (uint64_t base : {uint64_t{0}, uint64_t{1}, uint64_t{20200604}}) {
+    seeds.clear();
+    for (uint64_t stream = 0; stream < 10000; ++stream) {
+      seeds.insert(Rng::StreamSeed(base, stream));
+    }
+    CHECK_EQ(seeds.size(), size_t{10000});
+  }
+}
+
+void TestWorkerStreamsDisjoint() {
+  // Distinct workers must see disjoint random sequences: collect the first
+  // 1k outputs of 8 worker streams and require no value in common.
+  constexpr int kWorkers = 8;
+  constexpr int kDraws = 1000;
+  std::set<uint64_t> all;
+  size_t expected = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    Rng rng(Rng::StreamSeed(/*seed=*/42, static_cast<uint64_t>(w)));
+    for (int i = 0; i < kDraws; ++i) all.insert(rng.Next());
+    expected += kDraws;
+  }
+  CHECK_EQ(all.size(), expected);
+}
+
+void TestShardPlanDeterministic() {
+  ShardPlan a = ShardPlan::Build(7, 64);
+  ShardPlan b = ShardPlan::Build(7, 64);
+  CHECK_EQ(a.tasks.size(), size_t{64});
+  std::set<uint64_t> seeds;
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    CHECK_EQ(a.tasks[i].db_index, static_cast<int>(i));
+    CHECK_EQ(a.tasks[i].seed, b.tasks[i].seed);
+    seeds.insert(a.tasks[i].seed);
+  }
+  CHECK_EQ(seeds.size(), a.tasks.size());  // per-database seeds distinct
+}
+
+void TestRunStatsMerge() {
+  RunStats total;
+  RunStats shard1;
+  shard1.statements_executed = 10;
+  shard1.queries_checked = 4;
+  shard1.queries_skipped = 1;
+  shard1.databases_created = 2;
+  shard1.rectified_true = 3;
+  shard1.rectified_false = 2;
+  shard1.rectified_null = 1;
+  shard1.constraint_violations = 5;
+  RunStats shard2;
+  shard2.statements_executed = 7;
+  shard2.queries_checked = 2;
+  shard2.databases_created = 1;
+  shard2.rectified_null = 4;
+  total.Merge(shard1);
+  total.Merge(shard2);
+  CHECK_EQ(total.statements_executed, uint64_t{17});
+  CHECK_EQ(total.queries_checked, uint64_t{6});
+  CHECK_EQ(total.queries_skipped, uint64_t{1});
+  CHECK_EQ(total.databases_created, uint64_t{3});
+  CHECK_EQ(total.rectified_true, uint64_t{3});
+  CHECK_EQ(total.rectified_false, uint64_t{2});
+  CHECK_EQ(total.rectified_null, uint64_t{5});
+  CHECK_EQ(total.constraint_violations, uint64_t{5});
+}
+
+void TestCoverageMapMerge() {
+  using minidb::CoverageMap;
+  using minidb::Feature;
+  CoverageMap a;
+  a.Mark(Feature::kInsert);
+  a.Mark(Feature::kInsert);
+  a.Mark(Feature::kSelect);
+  CoverageMap b;
+  b.Mark(Feature::kInsert);
+  b.Mark(Feature::kCreateTable);
+  CoverageMap merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  CHECK_EQ(merged.Hits(Feature::kInsert), uint64_t{3});
+  CHECK_EQ(merged.Hits(Feature::kSelect), uint64_t{1});
+  CHECK_EQ(merged.Hits(Feature::kCreateTable), uint64_t{1});
+  CHECK_EQ(merged.CoveredFeatures(), size_t{3});
+  CHECK_EQ(merged.TotalHits(), a.TotalHits() + b.TotalHits());
+}
+
+// Merge of shards == single-run totals, on a real run: the same session
+// executed by 1 worker on one coverage map and by 4 workers on per-worker
+// maps must agree on stats and on every feature's merged hit count.
+void TestShardedCoverageMatchesSingleRun() {
+  auto run = [](int workers, minidb::CoverageMap* maps) {
+    RunnerOptions opts;
+    opts.seed = 99;
+    opts.databases = 24;
+    opts.queries_per_database = 12;
+    opts.workers = workers;
+    WorkerEngineFactory factory = [maps](int worker) -> ConnectionPtr {
+      auto db = std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+      db->set_coverage_sink(&maps[worker]);
+      return db;
+    };
+    PqsRunner runner(std::move(factory), opts);
+    return runner.Run();
+  };
+
+  minidb::CoverageMap single[1];
+  RunReport sequential = run(1, single);
+
+  minidb::CoverageMap shards[4];
+  RunReport sharded = run(4, shards);
+  minidb::CoverageMap merged;
+  for (const minidb::CoverageMap& m : shards) merged.Merge(m);
+
+  CHECK_EQ(sharded.stats.statements_executed,
+           sequential.stats.statements_executed);
+  CHECK_EQ(sharded.stats.queries_checked, sequential.stats.queries_checked);
+  CHECK_EQ(sharded.stats.databases_created,
+           sequential.stats.databases_created);
+  CHECK_EQ(sharded.findings.size(), sequential.findings.size());
+  for (size_t i = 0; i < minidb::kNumFeatures; ++i) {
+    auto f = static_cast<minidb::Feature>(i);
+    CHECK_MSG(merged.Hits(f) == single[0].Hits(f),
+              "feature %s: merged %llu != single %llu", minidb::FeatureName(f),
+              static_cast<unsigned long long>(merged.Hits(f)),
+              static_cast<unsigned long long>(single[0].Hits(f)));
+  }
+}
+
+}  // namespace
+}  // namespace pqs
+
+int main() {
+  pqs::TestStreamSeedsNeverCollide();
+  pqs::TestWorkerStreamsDisjoint();
+  pqs::TestShardPlanDeterministic();
+  pqs::TestRunStatsMerge();
+  pqs::TestCoverageMapMerge();
+  pqs::TestShardedCoverageMatchesSingleRun();
+  return pqs::test::Summary("test_shard_merge");
+}
