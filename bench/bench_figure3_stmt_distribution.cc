@@ -10,11 +10,9 @@ namespace pqs {
 
 void PrintFigure3() {
   CampaignOptions options = bench::DefaultCampaignOptions();
-  size_t pooled_unique = 0;
-  size_t pooled_pk = 0;
-  size_t pooled_index = 0;
-  size_t pooled_single_table = 0;
-  size_t pooled_total = 0;
+  AggregateStats pooled;  // all dialects, for the §4.3 frequencies
+  std::string json = "{\n  \"bench\": \"figure3\",\n  \"dialects\": [\n";
+  bool first_dialect = true;
   for (Dialect d : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
                     Dialect::kPostgresStrict}) {
     CampaignReport report = RunCampaign(d, options);
@@ -35,25 +33,57 @@ void PrintFigure3() {
       }
       printf("%-22s %10.1f%% %s\n", category.c_str(), pct, triggers.c_str());
     }
-    pooled_unique += agg.with_unique;
-    pooled_pk += agg.with_primary_key;
-    pooled_index += agg.with_create_index;
-    pooled_single_table += agg.single_table;
-    pooled_total += agg.total_cases;
+    // Widened-grammar buckets of this dialect's reduced test cases. These
+    // are enumerated explicitly — a reduced join/DISTINCT/ORDER/LIMIT case
+    // must show up here, never fold silently into plain SELECT counts.
+    printf("%-22s joins:%zu (left:%zu) distinct:%zu order-by:%zu "
+           "limit:%zu of %zu cases\n",
+           "feature buckets", agg.with_explicit_join, agg.with_left_join,
+           agg.with_distinct, agg.with_order_by, agg.with_limit,
+           agg.total_cases);
+
+    if (!first_dialect) json += ",\n";
+    first_dialect = false;
+    json += std::string("    {\"dialect\": \"") + DialectName(d) + "\",\n";
+    json += "     \"total_cases\": " + std::to_string(agg.total_cases) +
+            ",\n     \"categories\": {";
+    bool first_cat = true;
+    for (const auto& [category, stat] : agg.per_category) {
+      if (!first_cat) json += ", ";
+      first_cat = false;
+      json += "\"" + bench::JsonEscape(category) +
+              "\": " + std::to_string(stat.test_cases_containing);
+    }
+    json += "},\n     \"feature_buckets\": {";
+    json += "\"explicit_join\": " + std::to_string(agg.with_explicit_join);
+    json += ", \"left_join\": " + std::to_string(agg.with_left_join);
+    json += ", \"distinct\": " + std::to_string(agg.with_distinct);
+    json += ", \"order_by\": " + std::to_string(agg.with_order_by);
+    json += ", \"limit\": " + std::to_string(agg.with_limit);
+    json += "}}";
+
+    pooled.Merge(agg);
   }
+  json += "\n  ]\n}";
+  bench::WriteBenchJson("BENCH_figure3_features.json", json);
+
   bench::PrintHeader("§4.3 column constraints in reduced test cases");
   auto pct = [&](size_t n) {
-    return pooled_total == 0 ? 0.0
-                             : 100.0 * static_cast<double>(n) /
-                                   static_cast<double>(pooled_total);
+    return pooled.total_cases == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(n) /
+                     static_cast<double>(pooled.total_cases);
   };
   printf("UNIQUE constraint:   %5.1f%%   (paper: 22.2%%)\n",
-         pct(pooled_unique));
-  printf("PRIMARY KEY:         %5.1f%%   (paper: 17.2%%)\n", pct(pooled_pk));
+         pct(pooled.with_unique));
+  printf("PRIMARY KEY:         %5.1f%%   (paper: 17.2%%)\n",
+         pct(pooled.with_primary_key));
   printf("CREATE INDEX:        %5.1f%%   (paper: 28.3%%)\n",
-         pct(pooled_index));
+         pct(pooled.with_create_index));
   printf("single-table cases:  %5.1f%%   (paper: 90.0%%)\n",
-         pct(pooled_single_table));
+         pct(pooled.single_table));
+  printf("explicit-join cases: %5.1f%%   (query-space widening, PR 3)\n",
+         pct(pooled.with_explicit_join));
 }
 
 void BM_AnalyzeTestCase(benchmark::State& state) {

@@ -26,6 +26,8 @@ enum class BugId : uint32_t {
   kRealTruncCompare,       // REAL operand truncated in mixed comparison
   kLikeAnchored,           // '%x%' patterns wrongly anchored at the start
   kNotNullNot,             // NOT NULL evaluates to FALSE instead of NULL
+  kJoinDupRightMatch,      // ON-join keeps only the first matching right row
+  kDistinctTruncMerge,     // DISTINCT dedups REAL cells by truncated value
   kOrTermLimit,            // ≥3 OR terms → spurious optimizer error
   kConcatNumericError,     // || with a numeric operand → spurious error
   kBetweenSwapError,       // BETWEEN hi..lo (empty range) → spurious error
@@ -36,13 +38,16 @@ enum class BugId : uint32_t {
   kInListFirstOnly,        // IN (a, b, ...) only checks the first element
   kJoinPredicatePushdown,  // join rows satisfying a col=col term dropped
   kUnsignedSubWrap,        // negative subtraction result wraps positive
+  kOrderLimitOffByOne,     // ORDER BY + binding LIMIT returns one row fewer
   kDivZeroError,           // x / 0 errors instead of yielding NULL
   kDupInListError,         // duplicate IN-list literal → spurious error
   kLikeWildcardCrash,      // long '%...%' pattern → simulated SEGFAULT
+  kDistinctOrderCrash,     // DISTINCT + ORDER BY together → SEGFAULT
 
   // --- PostgreSQL-flavored dialect ---------------------------------------
   kIsNullArithLost,        // (a+b) IS NULL loses NULL propagation
   kParallelWorkerError,    // 2-table AND query → "parallel worker" error
+  kMultiJoinOrderError,    // ≥2 join steps + ORDER BY → spurious plan error
   kNumericOverflowError,   // |arith result| > 50 → spurious overflow
   kCollationMismatchError, // text col-vs-col compare → collation error
   kBetweenNullCrash,       // BETWEEN + IS NULL in one query → SEGFAULT

@@ -1,5 +1,6 @@
 #include "src/interp/eval.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -484,6 +485,184 @@ Bool3 EvaluatePredicate(const Expr& expr, const RowView& row,
   }
   if (error != nullptr) *error = false;
   return Truthiness(r.value, ctx.dialect);
+}
+
+bool JoinRows(const std::vector<JoinInput>& inputs,
+              const std::vector<JoinClause>& joins, const EvalContext& ctx,
+              std::vector<std::vector<SqlValue>>* out, std::string* error,
+              size_t* null_padded_rows) {
+  out->clear();
+  if (null_padded_rows != nullptr) *null_padded_rows = 0;
+  if (inputs.empty()) return true;
+  if (!joins.empty() && joins.size() != inputs.size() - 1) {
+    if (error != nullptr) *error = "join clause count does not match FROM";
+    return false;
+  }
+
+  RowSchema schema = inputs[0].schema;
+  std::vector<std::vector<SqlValue>> acc(inputs[0].rows->begin(),
+                                         inputs[0].rows->end());
+  for (size_t t = 1; t < inputs.size(); ++t) {
+    const JoinInput& right = inputs[t];
+    const JoinClause* join = joins.empty() ? nullptr : &joins[t - 1];
+    JoinKind kind = join != nullptr ? join->kind : JoinKind::kCross;
+    const Expr* on =
+        (join != nullptr && join->on != nullptr) ? join->on.get() : nullptr;
+    if (on == nullptr && kind != JoinKind::kCross) {
+      if (error != nullptr) *error = "join without ON condition";
+      return false;
+    }
+
+    RowSchema next_schema = schema;
+    next_schema.cols.insert(next_schema.cols.end(), right.schema.cols.begin(),
+                            right.schema.cols.end());
+    std::vector<std::vector<SqlValue>> next;
+    for (const std::vector<SqlValue>& lrow : acc) {
+      bool matched = false;
+      for (const std::vector<SqlValue>& rrow : *right.rows) {
+        std::vector<SqlValue> combined;
+        combined.reserve(lrow.size() + rrow.size());
+        combined.insert(combined.end(), lrow.begin(), lrow.end());
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        if (on != nullptr) {
+          RowView view{&next_schema, &combined};
+          EvalResult r = Evaluate(*on, view, ctx);
+          if (r.error) {
+            if (error != nullptr) *error = r.message;
+            return false;
+          }
+          if (Truthiness(r.value, ctx.dialect) != Bool3::kTrue) continue;
+        }
+        next.push_back(std::move(combined));
+        matched = true;
+        // Injected: the scan wrongly assumes the right side is unique on
+        // the join key and stops after the first matching right row.
+        if (on != nullptr && ctx.BugEnabled(BugId::kJoinDupRightMatch)) {
+          break;
+        }
+      }
+      if (!matched && kind == JoinKind::kLeft) {
+        std::vector<SqlValue> padded;
+        padded.reserve(lrow.size() + right.schema.cols.size());
+        padded.insert(padded.end(), lrow.begin(), lrow.end());
+        padded.resize(lrow.size() + right.schema.cols.size());  // NULL cells
+        next.push_back(std::move(padded));
+        if (null_padded_rows != nullptr) ++*null_padded_rows;
+      }
+    }
+    acc = std::move(next);
+    schema = std::move(next_schema);
+  }
+  *out = std::move(acc);
+  return true;
+}
+
+namespace {
+
+// DISTINCT cell equality: NULLs equal, numerics numeric. The
+// kDistinctTruncMerge bug compares mixed/REAL numerics by truncated value,
+// wrongly merging rows like (1.5) into an earlier (1.0).
+bool DistinctCellsEqual(const SqlValue& a, const SqlValue& b,
+                        const EvalContext& ctx) {
+  if (ctx.BugEnabled(BugId::kDistinctTruncMerge) && a.is_numeric() &&
+      b.is_numeric() &&
+      (a.cls == StorageClass::kReal || b.cls == StorageClass::kReal)) {
+    return std::trunc(a.AsReal()) == std::trunc(b.AsReal());
+  }
+  return ValueEquals(a, b);
+}
+
+bool DistinctRowsEqual(const std::vector<SqlValue>& a,
+                       const std::vector<SqlValue>& b,
+                       const EvalContext& ctx) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!DistinctCellsEqual(a[i], b[i], ctx)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<size_t> DistinctKeepIndexes(
+    const std::vector<std::vector<SqlValue>>& rows, const EvalContext& ctx) {
+  // Quadratic first-occurrence scan: result sets are small (bounded by the
+  // cross product of a handful of ≤12-row tables), and the bug hook wants
+  // pairwise equality rather than an order-consistent sort key.
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool duplicate = false;
+    for (size_t k : kept) {
+      if (DistinctRowsEqual(rows[i], rows[k], ctx)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) kept.push_back(i);
+  }
+  return kept;
+}
+
+bool EvalOrderKeys(const std::vector<OrderByItem>& order, const RowView& row,
+                   const EvalContext& ctx, std::vector<SqlValue>* keys,
+                   std::string* error) {
+  keys->clear();
+  keys->reserve(order.size());
+  for (const OrderByItem& item : order) {
+    if (item.expr == nullptr) {
+      if (error != nullptr) *error = "ORDER BY without key expression";
+      return false;
+    }
+    EvalResult r = Evaluate(*item.expr, row, ctx);
+    if (r.error) {
+      if (error != nullptr) *error = r.message;
+      return false;
+    }
+    keys->push_back(std::move(r.value));
+  }
+  return true;
+}
+
+int CompareOrderKeys(const std::vector<SqlValue>& a,
+                     const std::vector<SqlValue>& b,
+                     const std::vector<OrderByItem>& order) {
+  for (size_t i = 0; i < order.size() && i < a.size() && i < b.size(); ++i) {
+    int c = ValueCompare(a[i], b[i]);
+    if (c != 0) return order[i].descending ? -c : c;
+  }
+  return 0;
+}
+
+bool SortIndexesByOrder(const RowSchema& schema,
+                        const std::vector<std::vector<SqlValue>>& rows,
+                        const std::vector<OrderByItem>& order,
+                        const EvalContext& ctx, std::vector<size_t>* perm,
+                        std::string* error) {
+  std::vector<std::vector<SqlValue>> keys(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    RowView view{&schema, &rows[i]};
+    if (!EvalOrderKeys(order, view, ctx, &keys[i], error)) return false;
+  }
+  perm->resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) (*perm)[i] = i;
+  std::stable_sort(perm->begin(), perm->end(), [&](size_t x, size_t y) {
+    return CompareOrderKeys(keys[x], keys[y], order) < 0;
+  });
+  return true;
+}
+
+void ApplyLimit(int64_t limit, bool ordered, const EvalContext& ctx,
+                std::vector<std::vector<SqlValue>>* rows) {
+  if (limit < 0) return;
+  size_t n = static_cast<size_t>(limit);
+  // Injected: with an ORDER BY present and a limit that binds the result,
+  // the truncation loop runs one iteration short.
+  if (ctx.BugEnabled(BugId::kOrderLimitOffByOne) && ordered && n >= 1 &&
+      n <= rows->size()) {
+    rows->resize(n - 1);
+    return;
+  }
+  if (rows->size() > n) rows->resize(n);
 }
 
 }  // namespace pqs

@@ -83,6 +83,69 @@ Bool3 EvaluatePredicate(const Expr& expr, const RowView& row,
 bool LikeMatch(const std::string& text, const std::string& pattern,
                bool case_insensitive);
 
+// ---------------------------------------------------------------------------
+// Relational helpers (joins, DISTINCT, ORDER BY, LIMIT)
+// ---------------------------------------------------------------------------
+// Like the expression evaluator above, these are shared between MiniDB's
+// scan (with its BugConfig in the EvalContext) and the runner's ground-truth
+// computation for join-aware pivot containment and LIMIT rank bounds (with a
+// clean context). Sharing the code is what keeps the widened query space
+// free of oracle false positives: injected join/DISTINCT/LIMIT bugs hook in
+// here gated on ctx.bugs, and a null BugConfig is reference semantics.
+
+// One FROM entry of a relational evaluation: the table's column schema plus
+// its materialized rows.
+struct JoinInput {
+  RowSchema schema;
+  const std::vector<std::vector<SqlValue>>* rows = nullptr;
+};
+
+// Nested-loop join of inputs[0] with inputs[1..]. With `joins` empty this is
+// the comma-list FROM (cross product of every input); otherwise
+// joins.size() must equal inputs.size() - 1 and each clause combines the
+// rows accumulated so far with the next input (INNER/CROSS keep matching
+// combinations, LEFT additionally null-pads left rows without a match).
+// ON conditions may reference any column joined so far. Returns false and
+// fills *error on an evaluation error; *null_padded_rows (optional) counts
+// LEFT-join padding rows produced.
+bool JoinRows(const std::vector<JoinInput>& inputs,
+              const std::vector<JoinClause>& joins, const EvalContext& ctx,
+              std::vector<std::vector<SqlValue>>* out, std::string* error,
+              size_t* null_padded_rows);
+
+// SQL DISTINCT over materialized rows: returns the indexes of the rows kept
+// (the first occurrence of each duplicate group), in ascending order. NULL
+// cells compare equal to each other and INTEGER/REAL cells compare
+// numerically, matching real engines' DISTINCT semantics.
+std::vector<size_t> DistinctKeepIndexes(
+    const std::vector<std::vector<SqlValue>>& rows, const EvalContext& ctx);
+
+// Evaluates the ORDER BY key expressions on one row.
+bool EvalOrderKeys(const std::vector<OrderByItem>& order, const RowView& row,
+                   const EvalContext& ctx, std::vector<SqlValue>* keys,
+                   std::string* error);
+
+// Lexicographic three-way comparison of two key vectors under the order
+// spec: ValueCompare per key (NULL < numeric < TEXT, the SQLite/MySQL
+// default NULL position), inverted for descending keys.
+int CompareOrderKeys(const std::vector<SqlValue>& a,
+                     const std::vector<SqlValue>& b,
+                     const std::vector<OrderByItem>& order);
+
+// Stable sorted permutation of [0, rows.size()) under the order spec, with
+// keys evaluated against `schema`. Returns false on an evaluation error.
+bool SortIndexesByOrder(const RowSchema& schema,
+                        const std::vector<std::vector<SqlValue>>& rows,
+                        const std::vector<OrderByItem>& order,
+                        const EvalContext& ctx, std::vector<size_t>* perm,
+                        std::string* error);
+
+// Truncates `rows` to `limit` (< 0 means no LIMIT). `ordered` reports
+// whether the statement carried an ORDER BY (the kOrderLimitOffByOne bug
+// triggers only on ordered, binding limits).
+void ApplyLimit(int64_t limit, bool ordered, const EvalContext& ctx,
+                std::vector<std::vector<SqlValue>>* rows);
+
 }  // namespace pqs
 
 #endif  // PQS_SRC_INTERP_EVAL_H_

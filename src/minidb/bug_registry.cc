@@ -11,7 +11,7 @@ namespace {
 // toward the error oracle (Tables 2 and 3).
 const std::vector<BugInfo>& BuildRegistry() {
   static const std::vector<BugInfo> registry = {
-      // SQLite-flavored dialect: 8 containment, 3 error, 1 crash.
+      // SQLite-flavored dialect: 10 containment, 3 error, 1 crash.
       {BugId::kPartialIndexIsNotInference, "partial-index-is-not-inference",
        Dialect::kSqliteFlex, OracleKind::kContainment, ReportOutcome::kFixed},
       {BugId::kIndexedOrSkip, "indexed-or-skip", Dialect::kSqliteFlex,
@@ -28,6 +28,12 @@ const std::vector<BugInfo>& BuildRegistry() {
        OracleKind::kContainment, ReportOutcome::kFixed},
       {BugId::kNotNullNot, "not-null-not", Dialect::kSqliteFlex,
        OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kJoinDupRightMatch, "join-dup-right-match",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kDistinctTruncMerge, "distinct-trunc-merge",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
       {BugId::kOrTermLimit, "or-term-limit", Dialect::kSqliteFlex,
        OracleKind::kError, ReportOutcome::kFixed},
       {BugId::kConcatNumericError, "concat-numeric-error",
@@ -37,7 +43,7 @@ const std::vector<BugInfo>& BuildRegistry() {
       {BugId::kDeepExprCrash, "deep-expr-crash", Dialect::kSqliteFlex,
        OracleKind::kCrash, ReportOutcome::kDuplicate},
 
-      // MySQL-flavored dialect: 4 containment, 2 error, 1 crash.
+      // MySQL-flavored dialect: 5 containment, 2 error, 2 crash.
       {BugId::kStrNumCoercionPrefix, "str-num-coercion-prefix",
        Dialect::kMysqlLike, OracleKind::kContainment, ReportOutcome::kFixed},
       {BugId::kInListFirstOnly, "in-list-first-only", Dialect::kMysqlLike,
@@ -46,18 +52,26 @@ const std::vector<BugInfo>& BuildRegistry() {
        Dialect::kMysqlLike, OracleKind::kContainment, ReportOutcome::kFixed},
       {BugId::kUnsignedSubWrap, "unsigned-sub-wrap", Dialect::kMysqlLike,
        OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kOrderLimitOffByOne, "order-limit-off-by-one",
+       Dialect::kMysqlLike, OracleKind::kContainment,
+       ReportOutcome::kVerified},
       {BugId::kDivZeroError, "div-zero-error", Dialect::kMysqlLike,
        OracleKind::kError, ReportOutcome::kVerified},
       {BugId::kDupInListError, "dup-in-list-error", Dialect::kMysqlLike,
        OracleKind::kError, ReportOutcome::kIntended},
       {BugId::kLikeWildcardCrash, "like-wildcard-crash", Dialect::kMysqlLike,
        OracleKind::kCrash, ReportOutcome::kDuplicate},
+      {BugId::kDistinctOrderCrash, "distinct-order-crash",
+       Dialect::kMysqlLike, OracleKind::kCrash, ReportOutcome::kFixed},
 
-      // PostgreSQL-flavored dialect: 1 containment, 3 error, 1 crash.
+      // PostgreSQL-flavored dialect: 1 containment, 4 error, 1 crash.
       {BugId::kIsNullArithLost, "is-null-arith-lost",
        Dialect::kPostgresStrict, OracleKind::kContainment,
        ReportOutcome::kFixed},
       {BugId::kParallelWorkerError, "parallel-worker-error",
+       Dialect::kPostgresStrict, OracleKind::kError,
+       ReportOutcome::kVerified},
+      {BugId::kMultiJoinOrderError, "multi-join-order-error",
        Dialect::kPostgresStrict, OracleKind::kError,
        ReportOutcome::kVerified},
       {BugId::kNumericOverflowError, "numeric-overflow-error",

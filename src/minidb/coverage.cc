@@ -25,6 +25,13 @@ const char* FeatureName(Feature f) {
     case Feature::kSelectWhere: return "select-where";
     case Feature::kSelectJoin: return "select-join";
     case Feature::kSelectProjection: return "select-projection";
+    case Feature::kSelectDistinct: return "select-distinct";
+    case Feature::kSelectOrderBy: return "select-order-by";
+    case Feature::kSelectLimit: return "select-limit";
+    case Feature::kJoinInner: return "join-inner";
+    case Feature::kJoinLeft: return "join-left";
+    case Feature::kJoinCross: return "join-cross";
+    case Feature::kLeftJoinNullPad: return "left-join-null-pad";
     case Feature::kRowMatched: return "row-matched";
     case Feature::kRowFiltered: return "row-filtered";
     case Feature::kExprColumnRef: return "expr-column-ref";

@@ -36,6 +36,13 @@ enum class Feature : size_t {
   kSelectWhere,
   kSelectJoin,
   kSelectProjection,
+  kSelectDistinct,
+  kSelectOrderBy,
+  kSelectLimit,
+  kJoinInner,
+  kJoinLeft,
+  kJoinCross,
+  kLeftJoinNullPad,
   kRowMatched,
   kRowFiltered,
   kExprColumnRef,

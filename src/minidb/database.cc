@@ -476,8 +476,13 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     return StatementResult::Failure(StatementStatus::kError,
                                     "SELECT without FROM");
   }
+  if (!stmt.joins.empty() && stmt.from_tables.size() != 1) {
+    return StatementResult::Failure(
+        StatementStatus::kError,
+        "explicit joins require a single base table");
+  }
   std::vector<TableData*> from;
-  for (const std::string& name : stmt.from_tables) {
+  for (const std::string& name : stmt.AllTables()) {
     TableData* table = FindTable(name);
     if (table == nullptr) {
       return StatementResult::Failure(StatementStatus::kError,
@@ -490,6 +495,26 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   if (stmt.where != nullptr) Mark(Feature::kSelectWhere);
   if (from.size() > 1) Mark(Feature::kSelectJoin);
   if (!stmt.select_list.empty()) Mark(Feature::kSelectProjection);
+  if (stmt.distinct) Mark(Feature::kSelectDistinct);
+  if (!stmt.order_by.empty()) Mark(Feature::kSelectOrderBy);
+  if (stmt.limit >= 0) Mark(Feature::kSelectLimit);
+  for (const JoinClause& join : stmt.joins) {
+    switch (join.kind) {
+      case JoinKind::kInner:
+        Mark(Feature::kJoinInner);
+        break;
+      case JoinKind::kLeft:
+        Mark(Feature::kJoinLeft);
+        break;
+      case JoinKind::kCross:
+        Mark(Feature::kJoinCross);
+        break;
+    }
+    if (join.on != nullptr) MarkExprFeatures(*join.on);
+  }
+  for (const OrderByItem& item : stmt.order_by) {
+    if (item.expr != nullptr) MarkExprFeatures(*item.expr);
+  }
   if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
   for (const ExprPtr& e : stmt.select_list) {
     if (e != nullptr) MarkExprFeatures(*e);
@@ -532,6 +557,17 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
         where.ContainsKind(ExprKind::kIsNull)) {
       return Crash("null range plan dereference");
     }
+  }
+  if (BugOn(BugId::kMultiJoinOrderError) && stmt.joins.size() >= 2 &&
+      !stmt.order_by.empty()) {
+    return StatementResult::Failure(
+        StatementStatus::kError,
+        "could not devise a query plan for the ordered multi-join "
+        "(spurious)");
+  }
+  if (BugOn(BugId::kDistinctOrderCrash) && stmt.distinct &&
+      !stmt.order_by.empty()) {
+    return Crash("sort-dedup buffer overflow");
   }
 
   // --- Scan-level injected bugs: decide per-row drop predicates. ---------
@@ -585,18 +621,41 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
 
   EvalContext ctx{dialect_, &bugs_};
 
-  // Nested-loop cross product over the FROM tables.
-  std::vector<size_t> cursor(from.size(), 0);
-  bool empty = false;
-  for (const TableData* table : from) empty |= table->rows.empty();
-  std::vector<SqlValue> combined;
-  combined.reserve(schema.cols.size());
-  while (!empty) {
-    combined.clear();
-    for (size_t t = 0; t < from.size(); ++t) {
-      const auto& row = from[t]->rows[cursor[t]];
-      combined.insert(combined.end(), row.begin(), row.end());
+  // Materialize the (joined) FROM rows through the shared relational core:
+  // comma-list FROM is the cross product, explicit join clauses run
+  // INNER/LEFT/CROSS steps (with the join-path injected bugs hooked
+  // inside). A single-table FROM — the pivot-fetch hot path — scans the
+  // table storage directly instead of materializing a copy.
+  std::vector<std::vector<SqlValue>> joined;
+  std::string relational_error;
+  const std::vector<std::vector<SqlValue>>* scan_rows = nullptr;
+  if (from.size() == 1 && stmt.joins.empty()) {
+    scan_rows = &from[0]->rows;
+  } else {
+    std::vector<JoinInput> inputs;
+    inputs.reserve(from.size());
+    for (const TableData* table : from) {
+      JoinInput input;
+      input.schema = SchemaFor(table->name, table->columns);
+      input.rows = &table->rows;
+      inputs.push_back(std::move(input));
     }
+    size_t null_padded = 0;
+    if (!JoinRows(inputs, stmt.joins, ctx, &joined, &relational_error,
+                  &null_padded)) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      relational_error);
+    }
+    if (null_padded > 0) Mark(Feature::kLeftJoinNullPad);
+    scan_rows = &joined;
+  }
+
+  // WHERE filter + scan-level injected bugs, then projection. `kept`
+  // retains the surviving pre-projection rows as the ORDER BY key source;
+  // unordered queries never need it.
+  bool need_kept = !stmt.order_by.empty();
+  std::vector<std::vector<SqlValue>> kept;
+  for (const std::vector<SqlValue>& combined : *scan_rows) {
     RowView view{&schema, &combined};
 
     bool keep = true;
@@ -667,33 +726,54 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
       }
     }
 
-    if (keep) {
-      if (stmt.select_list.empty()) {
-        result.rows.push_back(combined);
-      } else {
-        std::vector<SqlValue> projected;
-        projected.reserve(stmt.select_list.size());
-        for (const ExprPtr& e : stmt.select_list) {
-          EvalResult v = Evaluate(*e, view, ctx);
-          if (v.error) {
-            return StatementResult::Failure(StatementStatus::kError,
-                                            v.message);
-          }
-          projected.push_back(std::move(v.value));
+    if (!keep) continue;
+    if (stmt.select_list.empty()) {
+      result.rows.push_back(combined);
+    } else {
+      std::vector<SqlValue> projected;
+      projected.reserve(stmt.select_list.size());
+      for (const ExprPtr& e : stmt.select_list) {
+        EvalResult v = Evaluate(*e, view, ctx);
+        if (v.error) {
+          return StatementResult::Failure(StatementStatus::kError,
+                                          v.message);
         }
-        result.rows.push_back(std::move(projected));
+        projected.push_back(std::move(v.value));
       }
+      result.rows.push_back(std::move(projected));
     }
-
-    // Advance the cross-product cursor (last table varies fastest).
-    size_t t = from.size();
-    while (t > 0) {
-      --t;
-      if (++cursor[t] < from[t]->rows.size()) break;
-      cursor[t] = 0;
-      if (t == 0) empty = true;  // wrapped the outermost table: done
-    }
+    if (need_kept) kept.push_back(combined);
   }
+
+  // DISTINCT dedups the projected rows (set semantics; first occurrence
+  // survives), then ORDER BY sorts by keys evaluated on the pre-projection
+  // rows, then LIMIT truncates — the SQL pipeline order.
+  if (stmt.distinct) {
+    std::vector<size_t> keep_idx = DistinctKeepIndexes(result.rows, ctx);
+    std::vector<std::vector<SqlValue>> deduped_out;
+    std::vector<std::vector<SqlValue>> deduped_kept;
+    deduped_out.reserve(keep_idx.size());
+    deduped_kept.reserve(need_kept ? keep_idx.size() : 0);
+    for (size_t idx : keep_idx) {
+      deduped_out.push_back(std::move(result.rows[idx]));
+      if (need_kept) deduped_kept.push_back(std::move(kept[idx]));
+    }
+    result.rows = std::move(deduped_out);
+    kept = std::move(deduped_kept);
+  }
+  if (!stmt.order_by.empty()) {
+    std::vector<size_t> perm;
+    if (!SortIndexesByOrder(schema, kept, stmt.order_by, ctx, &perm,
+                            &relational_error)) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      relational_error);
+    }
+    std::vector<std::vector<SqlValue>> sorted;
+    sorted.reserve(perm.size());
+    for (size_t idx : perm) sorted.push_back(std::move(result.rows[idx]));
+    result.rows = std::move(sorted);
+  }
+  ApplyLimit(stmt.limit, !stmt.order_by.empty(), ctx, &result.rows);
 
   if (stmt.select_list.empty() && result.column_names.empty()) {
     return StatementResult::Failure(StatementStatus::kError,

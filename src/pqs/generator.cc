@@ -41,6 +41,15 @@ bool IsNumericAffinity(Affinity a) {
 
 }  // namespace
 
+JoinKind Generator::RandomJoinKind(Rng* rng) const {
+  double roll = rng->Unit();
+  if (roll < options_.left_join_probability) return JoinKind::kLeft;
+  if (roll < options_.left_join_probability + options_.cross_join_probability) {
+    return JoinKind::kCross;
+  }
+  return JoinKind::kInner;
+}
+
 Generator::Generator(const GeneratorOptions& options, Dialect dialect)
     : options_(options),
       dialect_(dialect),
@@ -193,17 +202,76 @@ DatabasePlan Generator::GenerateDatabase(Rng* rng) const {
   return plan;
 }
 
-std::vector<const TableSchema*> Generator::PickFromTables(
-    const DatabasePlan& plan, Rng* rng) const {
-  std::vector<const TableSchema*> from;
+QueryShape Generator::GenerateQueryShape(const DatabasePlan& plan,
+                                         Rng* rng) const {
+  QueryShape shape;
   size_t first = rng->Below(plan.tables.size());
-  from.push_back(&plan.tables[first]);
+  shape.tables.push_back(&plan.tables[first]);
+
   if (plan.tables.size() > 1 &&
       rng->Chance(options_.multi_table_query_probability)) {
-    size_t second = rng->Below(plan.tables.size());
-    if (second != first) from.push_back(&plan.tables[second]);
+    // Remaining tables, in declaration order, for growing the FROM list.
+    std::vector<const TableSchema*> remaining;
+    for (size_t t = 0; t < plan.tables.size(); ++t) {
+      if (t != first) remaining.push_back(&plan.tables[t]);
+    }
+    const TableSchema* second = remaining[rng->Below(remaining.size())];
+    shape.tables.push_back(second);
+    if (rng->Chance(options_.explicit_join_probability)) {
+      shape.join_kinds.push_back(RandomJoinKind(rng));
+      if (remaining.size() > 1 &&
+          rng->Chance(options_.third_table_probability)) {
+        std::vector<const TableSchema*> rest;
+        for (const TableSchema* t : remaining) {
+          if (t != second) rest.push_back(t);
+        }
+        shape.tables.push_back(rest[rng->Below(rest.size())]);
+        shape.join_kinds.push_back(RandomJoinKind(rng));
+      }
+    }
   }
-  return from;
+
+  shape.distinct = rng->Chance(options_.distinct_probability);
+  if (rng->Chance(options_.order_by_probability)) {
+    int keys = static_cast<int>(rng->IntIn(
+        1, options_.max_order_keys > 0 ? options_.max_order_keys : 1));
+    for (int k = 0; k < keys; ++k) {
+      const TableSchema* table = nullptr;
+      const ColumnDef* col = PickColumn(shape.tables, &table, rng);
+      OrderByItem item;
+      item.expr = MakeColumnRef(table->name, col->name);
+      item.descending = rng->Chance(0.5);
+      shape.order_by.push_back(std::move(item));
+    }
+  }
+  // LIMIT without an ORDER BY is only sound when it spans the whole result
+  // (any row order is legal), so it is generated more rarely.
+  shape.want_limit = rng->Chance(shape.order_by.empty()
+                                     ? options_.limit_probability * 0.3
+                                     : options_.limit_probability);
+  return shape;
+}
+
+ExprPtr Generator::GenerateJoinCondition(
+    const std::vector<const TableSchema*>& earlier, const TableSchema* joined,
+    Rng* rng) const {
+  const ColumnDef* col = &joined->columns[rng->Below(joined->columns.size())];
+  ExprPtr lhs = MakeColumnRef(joined->name, col->name);
+  // Half equi-joins, half range joins (range joins multiply matches, which
+  // stresses the duplicate-right-row paths).
+  BinaryOp op = rng->Chance(0.5) ? BinaryOp::kEq : RandomComparison(rng);
+  if (!earlier.empty() && rng->Chance(0.65)) {
+    const TableSchema* other = earlier[rng->Below(earlier.size())];
+    const ColumnDef* ocol = &other->columns[rng->Below(other->columns.size())];
+    // Same type-class restriction as column-vs-column leaves in
+    // GenLeaf: keeps the model aligned with real SQLite affinity rules.
+    if (IsNumericAffinity(col->affinity) == IsNumericAffinity(ocol->affinity)) {
+      return MakeBinary(op, std::move(lhs),
+                        MakeColumnRef(other->name, ocol->name));
+    }
+  }
+  return MakeBinary(op, std::move(lhs),
+                    MakeLiteral(RandomLiteralNear(col->affinity, rng)));
 }
 
 const ColumnDef* Generator::PickColumn(

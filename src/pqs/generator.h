@@ -24,7 +24,7 @@ struct GeneratorOptions {
 
   int min_rows = 3;
   int max_rows = 12;
-  int max_tables = 2;
+  int max_tables = 3;
   int max_columns = 4;
   // Composite predicate nesting (leaves add their own internal depth).
   int max_predicate_depth = 3;
@@ -33,6 +33,21 @@ struct GeneratorOptions {
   double partial_index_probability = 0.4;    // ...of which partial
   double null_probability = 0.18;            // NULL cell values
   double multi_table_query_probability = 0.35;
+
+  // --- Query-shape features (joins / DISTINCT / ORDER BY / LIMIT). -------
+  // Probability a multi-table query uses explicit JOIN syntax (INNER /
+  // LEFT / CROSS chain) rather than the comma-list cross product.
+  double explicit_join_probability = 0.55;
+  // Probability an explicit join chain grows to a third table.
+  double third_table_probability = 0.5;
+  double left_join_probability = 0.35;   // join step is LEFT ...
+  double cross_join_probability = 0.15;  // ... or CROSS (else INNER)
+  double distinct_probability = 0.3;
+  double order_by_probability = 0.45;
+  // LIMIT attach probability, given an ORDER BY (LIMIT without ORDER BY is
+  // generated more rarely; its sound bound is the whole result).
+  double limit_probability = 0.5;
+  int max_order_keys = 2;
 };
 
 struct TableSchema {
@@ -47,6 +62,22 @@ struct DatabasePlan {
   std::vector<StmtPtr> statements;
 };
 
+// Shape of one generated query: the FROM tables, the join plan over them,
+// and the DISTINCT / ORDER BY / LIMIT features. ON conditions and the WHERE
+// predicate are generated separately so the runner can rectify each of them
+// against the pivot row (Algorithm 3, extended join-aware); the LIMIT value
+// itself is chosen by the runner from the pivot's ground-truth rank so
+// containment stays decidable.
+struct QueryShape {
+  std::vector<const TableSchema*> tables;  // FROM order; [0] is the base
+  // One entry per join step (tables[i+1] joins via join_kinds[i]); empty
+  // means comma-list FROM (cross product).
+  std::vector<JoinKind> join_kinds;
+  bool distinct = false;
+  std::vector<OrderByItem> order_by;  // column-ref keys over `tables`
+  bool want_limit = false;
+};
+
 class Generator {
  public:
   Generator(const GeneratorOptions& options, Dialect dialect);
@@ -54,15 +85,23 @@ class Generator {
   // Generates schema + data statements for a fresh database.
   DatabasePlan GenerateDatabase(Rng* rng) const;
 
-  // Picks the FROM tables for the next query (at least one).
-  std::vector<const TableSchema*> PickFromTables(const DatabasePlan& plan,
-                                                 Rng* rng) const;
+  // Picks the FROM tables, join plan, and query features for the next
+  // query (at least one table).
+  QueryShape GenerateQueryShape(const DatabasePlan& plan, Rng* rng) const;
+
+  // Random ON condition for joining `joined` to the `earlier` tables:
+  // a comparison anchored on a `joined` column (column-vs-column when a
+  // type-compatible earlier column exists, else column-vs-literal).
+  ExprPtr GenerateJoinCondition(
+      const std::vector<const TableSchema*>& earlier,
+      const TableSchema* joined, Rng* rng) const;
 
   // Random predicate over the given tables' columns.
   ExprPtr GeneratePredicate(
       const std::vector<const TableSchema*>& tables, Rng* rng) const;
 
  private:
+  JoinKind RandomJoinKind(Rng* rng) const;
   ExprPtr GenPredicate(const std::vector<const TableSchema*>& tables,
                        int depth, Rng* rng) const;
   ExprPtr GenLeaf(const std::vector<const TableSchema*>& tables,

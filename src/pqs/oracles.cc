@@ -57,6 +57,11 @@ void AggregateStats::Add(const TestCaseStats& tc) {
   with_primary_key += tc.has_primary_key ? 1 : 0;
   with_create_index += tc.has_create_index ? 1 : 0;
   single_table += tc.single_table ? 1 : 0;
+  with_explicit_join += tc.has_explicit_join ? 1 : 0;
+  with_left_join += tc.has_left_join ? 1 : 0;
+  with_distinct += tc.has_distinct ? 1 : 0;
+  with_order_by += tc.has_order_by ? 1 : 0;
+  with_limit += tc.has_limit ? 1 : 0;
 }
 
 void AggregateStats::Merge(const AggregateStats& other) {
@@ -74,6 +79,11 @@ void AggregateStats::Merge(const AggregateStats& other) {
   with_primary_key += other.with_primary_key;
   with_create_index += other.with_create_index;
   single_table += other.single_table;
+  with_explicit_join += other.with_explicit_join;
+  with_left_join += other.with_left_join;
+  with_distinct += other.with_distinct;
+  with_order_by += other.with_order_by;
+  with_limit += other.with_limit;
 }
 
 double AggregateStats::AverageLoc() const {
@@ -117,6 +127,17 @@ TestCaseStats AnalyzeTestCase(const Finding& finding) {
       case StmtKind::kCreateIndex:
         stats.has_create_index = true;
         break;
+      case StmtKind::kSelect: {
+        const auto& sel = static_cast<const SelectStmt&>(*s);
+        stats.has_explicit_join |= !sel.joins.empty();
+        for (const JoinClause& join : sel.joins) {
+          stats.has_left_join |= join.kind == JoinKind::kLeft;
+        }
+        stats.has_distinct |= sel.distinct;
+        stats.has_order_by |= !sel.order_by.empty();
+        stats.has_limit |= sel.limit >= 0;
+        break;
+      }
       default:
         break;
     }

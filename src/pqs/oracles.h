@@ -63,6 +63,13 @@ struct TestCaseStats {
   bool has_primary_key = false;
   bool has_create_index = false;
   bool single_table = false;          // exactly one table created
+  // Query-space feature buckets (PR 3): explicit JOIN syntax (with LEFT
+  // singled out), DISTINCT, ORDER BY, and LIMIT in any SELECT.
+  bool has_explicit_join = false;
+  bool has_left_join = false;
+  bool has_distinct = false;
+  bool has_order_by = false;
+  bool has_limit = false;
 };
 
 struct CategoryStat {
@@ -80,6 +87,13 @@ struct AggregateStats {
   size_t with_primary_key = 0;
   size_t with_create_index = 0;
   size_t single_table = 0;
+  // Query-space feature buckets: test cases whose statements exercise the
+  // widened SELECT grammar.
+  size_t with_explicit_join = 0;
+  size_t with_left_join = 0;
+  size_t with_distinct = 0;
+  size_t with_order_by = 0;
+  size_t with_limit = 0;
 
   void Add(const TestCaseStats& tc);
   // Value merge of per-shard aggregates: Merge(a, b) of disjoint shards

@@ -26,6 +26,93 @@ std::vector<StmtPtr> CloneLog(const DatabasePlan& plan, size_t count,
   return out;
 }
 
+// Algorithm-3 wrap: TRUE → φ, FALSE → NOT φ, NULL → φ IS NULL. Applied to
+// the WHERE predicate and, join-aware, to every generated ON condition so
+// the multi-table pivot combination survives each join step un-padded.
+ExprPtr RectifyToTrue(ExprPtr predicate, Bool3 raw) {
+  if (raw == Bool3::kTrue) return predicate;
+  if (raw == Bool3::kFalse) {
+    return MakeUnary(UnaryOp::kNot, std::move(predicate));
+  }
+  return MakeIsNull(std::move(predicate), /*negated=*/false);
+}
+
+// Worst-case 1-based position of the pivot in `query`'s result under
+// reference semantics: the number of result rows whose ORDER BY keys sort
+// at-or-before the pivot's (ties may legally precede it), or the full
+// result size when the query has no ORDER BY (any row order is legal
+// then). A LIMIT of at least this bound provably keeps the pivot in the
+// result whatever tie-breaking the engine uses — the paper's restriction
+// to queries where containment stays decidable. The base-table rows were
+// already fetched for pivot selection, so this reuses them with the same
+// shared relational core the engine runs.
+bool PivotWorstCaseRank(
+    const SelectStmt& query, const std::vector<const TableSchema*>& from,
+    const std::vector<std::vector<std::vector<SqlValue>>>& table_rows,
+    const RowSchema& joined_schema, const std::vector<SqlValue>& pivot,
+    const EvalContext& ctx, int64_t* rank) {
+  std::vector<JoinInput> inputs;
+  inputs.reserve(from.size());
+  for (size_t t = 0; t < from.size(); ++t) {
+    JoinInput input;
+    for (const ColumnDef& col : from[t]->columns) {
+      input.schema.cols.emplace_back(from[t]->name, col.name);
+    }
+    input.rows = &table_rows[t];
+    inputs.push_back(std::move(input));
+  }
+  std::vector<std::vector<SqlValue>> joined;
+  std::string error;
+  if (!JoinRows(inputs, query.joins, ctx, &joined, &error, nullptr)) {
+    return false;
+  }
+  std::vector<std::vector<SqlValue>> result;
+  for (std::vector<SqlValue>& row : joined) {
+    if (query.where != nullptr) {
+      RowView view{&joined_schema, &row};
+      bool eval_error = false;
+      Bool3 match = EvaluatePredicate(*query.where, view, ctx, &eval_error);
+      if (eval_error) return false;
+      if (match != Bool3::kTrue) continue;
+    }
+    result.push_back(std::move(row));
+  }
+  if (query.distinct) {
+    std::vector<size_t> keep = DistinctKeepIndexes(result, ctx);
+    std::vector<std::vector<SqlValue>> deduped;
+    deduped.reserve(keep.size());
+    for (size_t idx : keep) deduped.push_back(std::move(result[idx]));
+    result = std::move(deduped);
+  }
+  if (query.order_by.empty()) {
+    *rank = static_cast<int64_t>(result.size());
+  } else {
+    RowView pivot_view{&joined_schema, &pivot};
+    std::vector<SqlValue> pivot_keys;
+    if (!EvalOrderKeys(query.order_by, pivot_view, ctx, &pivot_keys,
+                       &error)) {
+      return false;
+    }
+    int64_t at_or_before = 0;
+    for (const std::vector<SqlValue>& row : result) {
+      RowView view{&joined_schema, &row};
+      std::vector<SqlValue> keys;
+      if (!EvalOrderKeys(query.order_by, view, ctx, &keys, &error)) {
+        return false;
+      }
+      if (CompareOrderKeys(keys, pivot_keys, query.order_by) <= 0) {
+        ++at_or_before;
+      }
+    }
+    *rank = at_or_before;
+  }
+  // Rectification guarantees the pivot is in the reference result, so the
+  // bound is structurally >= 1; clamp defensively (LIMIT 0 would be an
+  // instant false positive).
+  if (*rank < 1) *rank = 1;
+  return true;
+}
+
 // Outcome of one database of the shard plan. Merging these in db_index
 // order reconstructs exactly what the sequential loop would have reported.
 struct DbRunResult {
@@ -91,13 +178,16 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
 
   // --- Query phase. ---------------------------------------------------
   for (int q = 0; q < options.queries_per_database && !finding_in_db; ++q) {
-    std::vector<const TableSchema*> from =
-        generator.PickFromTables(plan, &rng);
+    QueryShape shape = generator.GenerateQueryShape(plan, &rng);
+    const std::vector<const TableSchema*>& from = shape.tables;
 
     // Pivot selection through the Connection API: fetch each FROM
-    // table's rows and pick one at random (paper §3.2 step 2).
+    // table's rows and pick one at random (paper §3.2 step 2). The full
+    // rowsets are retained: the LIMIT bound below recomputes the query on
+    // them under reference semantics.
     RowSchema pivot_schema;
     std::vector<SqlValue> pivot;
+    std::vector<std::vector<std::vector<SqlValue>>> table_rows;
     bool have_pivot = true;
     for (const TableSchema* table : from) {
       SelectStmt fetch;
@@ -127,7 +217,8 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         ++out.stats.queries_skipped;
         break;
       }
-      const auto& row = rows.rows[rng.Below(rows.rows.size())];
+      table_rows.push_back(std::move(rows.rows));
+      const auto& row = table_rows.back()[rng.Below(table_rows.back().size())];
       for (size_t c = 0; c < table->columns.size() && c < row.size(); ++c) {
         pivot_schema.cols.emplace_back(table->name, table->columns[c].name);
         pivot.push_back(row[c]);
@@ -135,12 +226,50 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     }
     if (!have_pivot) continue;
 
+    EvalContext ground_truth{dialect, nullptr};
+    RowView pivot_view{&pivot_schema, &pivot};
+
+    // Join plan: generate each explicit ON condition and rectify it to
+    // TRUE on the pivot (join-aware Algorithm 3), so the multi-table pivot
+    // combination survives every INNER/LEFT step un-padded. With
+    // rectification ablated the raw ON is used (and, as with WHERE, the
+    // containment check is skipped).
+    std::vector<JoinClause> joins;
+    bool shape_ok = true;
+    for (size_t j = 0; j < shape.join_kinds.size(); ++j) {
+      JoinClause clause;
+      clause.kind = shape.join_kinds[j];
+      clause.table = from[j + 1]->name;
+      if (clause.kind != JoinKind::kCross) {
+        std::vector<const TableSchema*> earlier(from.begin(),
+                                                from.begin() + j + 1);
+        ExprPtr on = generator.GenerateJoinCondition(earlier, from[j + 1],
+                                                     &rng);
+        bool on_error = false;
+        Bool3 raw_on =
+            EvaluatePredicate(*on, pivot_view, ground_truth, &on_error);
+        if (on_error) {
+          shape_ok = false;  // generator statically prevents this
+          break;
+        }
+        if (options.gen.rectify) {
+          clause.on = RectifyToTrue(std::move(on), raw_on);
+          ++out.stats.join_conditions_rectified;
+        } else {
+          clause.on = std::move(on);
+        }
+      }
+      joins.push_back(std::move(clause));
+    }
+    if (!shape_ok) {
+      ++out.stats.queries_skipped;
+      continue;
+    }
+
     ExprPtr predicate = generator.GeneratePredicate(from, &rng);
 
     // Algorithm 3: evaluate the raw predicate on the pivot with
     // reference semantics, tally the branch, and rectify to TRUE.
-    EvalContext ground_truth{dialect, nullptr};
-    RowView pivot_view{&pivot_schema, &pivot};
     bool eval_error = false;
     Bool3 raw =
         EvaluatePredicate(*predicate, pivot_view, ground_truth, &eval_error);
@@ -163,20 +292,37 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         ++out.stats.rectified_null;
         break;
     }
-    ExprPtr where;
-    if (!options.gen.rectify || raw == Bool3::kTrue) {
-      where = std::move(predicate);
-    } else if (raw == Bool3::kFalse) {
-      where = MakeUnary(UnaryOp::kNot, std::move(predicate));
-    } else {
-      where = MakeIsNull(std::move(predicate), /*negated=*/false);
-    }
+    ExprPtr where = options.gen.rectify
+                        ? RectifyToTrue(std::move(predicate), raw)
+                        : std::move(predicate);
 
     SelectStmt query;
-    for (const TableSchema* table : from) {
-      query.from_tables.push_back(table->name);
+    query.distinct = shape.distinct;
+    if (!joins.empty()) {
+      query.from_tables.push_back(from[0]->name);
+      query.joins = std::move(joins);
+    } else {
+      for (const TableSchema* table : from) {
+        query.from_tables.push_back(table->name);
+      }
     }
     query.where = std::move(where);
+    query.order_by = std::move(shape.order_by);
+
+    // LIMIT: only attached with a provably pivot-safe bound (worst-case
+    // ordered rank of the pivot, or the whole result when unordered),
+    // sometimes with slack so non-binding limits are exercised too.
+    if (shape.want_limit && options.gen.rectify) {
+      int64_t rank = 0;
+      if (!PivotWorstCaseRank(query, from, table_rows, pivot_schema, pivot,
+                              ground_truth, &rank)) {
+        ++out.stats.queries_skipped;
+        continue;
+      }
+      query.limit =
+          rank + (rng.Chance(0.5) ? 0 : static_cast<int64_t>(rng.Below(4)));
+      ++out.stats.limited_queries;
+    }
 
     StatementResult result = conn->Execute(query);
     ++out.stats.statements_executed;
@@ -258,6 +404,8 @@ void RunStats::Merge(const RunStats& other) {
   rectified_false += other.rectified_false;
   rectified_null += other.rectified_null;
   constraint_violations += other.constraint_violations;
+  join_conditions_rectified += other.join_conditions_rectified;
+  limited_queries += other.limited_queries;
 }
 
 ShardPlan ShardPlan::Build(uint64_t seed, int databases) {

@@ -44,6 +44,10 @@ struct RunStats {
   uint64_t rectified_false = 0;
   uint64_t rectified_null = 0;
   uint64_t constraint_violations = 0;  // tolerated INSERT rejections
+  // Query-space widening tallies: explicit ON conditions rectified against
+  // the pivot, and queries issued with a pivot-safe LIMIT attached.
+  uint64_t join_conditions_rectified = 0;
+  uint64_t limited_queries = 0;
 
   // Value merge: adds `other`'s tallies into this one. Merging the
   // per-shard stats of a run in any order equals the single-run totals.

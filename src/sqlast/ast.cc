@@ -204,14 +204,54 @@ StmtPtr InsertStmt::Clone() const {
   return out;
 }
 
+const char* JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "inner";
+    case JoinKind::kLeft:
+      return "left";
+    case JoinKind::kCross:
+      return "cross";
+  }
+  return "?";
+}
+
+JoinClause JoinClause::Clone() const {
+  JoinClause out;
+  out.kind = kind;
+  out.table = table;
+  out.on = on ? on->Clone() : nullptr;
+  return out;
+}
+
+OrderByItem OrderByItem::Clone() const {
+  OrderByItem out;
+  out.expr = expr ? expr->Clone() : nullptr;
+  out.descending = descending;
+  return out;
+}
+
 StmtPtr SelectStmt::Clone() const {
   auto out = std::make_unique<SelectStmt>();
+  out->distinct = distinct;
   out->select_list.reserve(select_list.size());
   for (const ExprPtr& e : select_list) {
     out->select_list.push_back(e ? e->Clone() : nullptr);
   }
   out->from_tables = from_tables;
+  out->joins.reserve(joins.size());
+  for (const JoinClause& j : joins) out->joins.push_back(j.Clone());
   out->where = where ? where->Clone() : nullptr;
+  out->order_by.reserve(order_by.size());
+  for (const OrderByItem& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+std::vector<std::string> SelectStmt::AllTables() const {
+  std::vector<std::string> out = from_tables;
+  out.reserve(from_tables.size() + joins.size());
+  for (const JoinClause& j : joins) out.push_back(j.table);
   return out;
 }
 

@@ -149,15 +149,48 @@ struct InsertStmt : Stmt {
   StmtPtr Clone() const override;
 };
 
+// Explicit join chain step. A SELECT with joins reads
+// `FROM from_tables[0] <join 0> <join 1> ...`; each clause combines the
+// rows accumulated so far with one more table. kCross takes no ON
+// condition; kInner and kLeft require one (the generator always supplies
+// it, and MiniDB rejects a missing ON as a statement error).
+enum class JoinKind { kInner, kLeft, kCross };
+
+const char* JoinKindName(JoinKind kind);
+
+struct JoinClause {
+  JoinKind kind = JoinKind::kInner;
+  std::string table;  // right-hand table of this step
+  ExprPtr on;         // null for kCross
+
+  JoinClause Clone() const;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderByItem Clone() const;
+};
+
 struct SelectStmt : Stmt {
+  bool distinct = false;
   // Empty select_list means `SELECT *` over all FROM-table columns in
   // declaration order.
   std::vector<ExprPtr> select_list;
+  // Comma-list FROM (cross product). When `joins` is non-empty this must
+  // hold exactly the one base table the join chain starts from.
   std::vector<std::string> from_tables;
+  std::vector<JoinClause> joins;
   ExprPtr where;  // may be null
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // < 0 means no LIMIT clause
 
   StmtKind kind() const override { return StmtKind::kSelect; }
   StmtPtr Clone() const override;
+
+  // All FROM tables in join order: from_tables then each join's table.
+  std::vector<std::string> AllTables() const;
 };
 
 // Figure-3 statement category ("CREATE TABLE", "INSERT", ...).

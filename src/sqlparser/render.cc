@@ -41,6 +41,20 @@ std::string ColumnRefText(const Expr& e) {
   return e.table + "." + e.column;
 }
 
+// Dialect spelling of a join step. MySQL idiomatically writes a bare JOIN
+// for an inner join; SQLite and PostgreSQL get the explicit INNER keyword.
+const char* JoinToken(JoinKind kind, Dialect dialect) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return dialect == Dialect::kMysqlLike ? "JOIN" : "INNER JOIN";
+    case JoinKind::kLeft:
+      return "LEFT JOIN";
+    case JoinKind::kCross:
+      return "CROSS JOIN";
+  }
+  return "JOIN";
+}
+
 }  // namespace
 
 std::string RenderExpr(const Expr& expr, Dialect dialect) {
@@ -128,6 +142,7 @@ std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
     case StmtKind::kSelect: {
       const auto& sel = static_cast<const SelectStmt&>(stmt);
       std::string out = "SELECT ";
+      if (sel.distinct) out += "DISTINCT ";
       if (sel.select_list.empty()) {
         out += "*";
       } else {
@@ -141,7 +156,28 @@ std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
         if (i > 0) out += ", ";
         out += sel.from_tables[i];
       }
+      for (const JoinClause& join : sel.joins) {
+        out += std::string(" ") + JoinToken(join.kind, dialect) + " " +
+               join.table;
+        if (join.on) out += " ON " + RenderExpr(*join.on, dialect);
+      }
       if (sel.where) out += " WHERE " + RenderExpr(*sel.where, dialect);
+      if (!sel.order_by.empty()) {
+        out += " ORDER BY ";
+        for (size_t i = 0; i < sel.order_by.size(); ++i) {
+          const OrderByItem& item = sel.order_by[i];
+          if (i > 0) out += ", ";
+          out += RenderExpr(*item.expr, dialect);
+          out += item.descending ? " DESC" : " ASC";
+          // PostgreSQL defaults to NULLS LAST on ASC (the reverse of the
+          // SQLite/MySQL model this repo evaluates with), so the strict
+          // dialect pins the NULL position explicitly.
+          if (dialect == Dialect::kPostgresStrict) {
+            out += item.descending ? " NULLS LAST" : " NULLS FIRST";
+          }
+        }
+      }
+      if (sel.limit >= 0) out += " LIMIT " + std::to_string(sel.limit);
       return out;
     }
   }

@@ -16,17 +16,24 @@ namespace pqs {
 namespace {
 
 RunReport BuggyRun(uint64_t seed, int workers = 1,
-                   bool stop_on_first_finding = false) {
+                   bool stop_on_first_finding = false,
+                   BugId bug = BugId::kPartialIndexIsNotInference) {
   RunnerOptions options;
   options.seed = seed;
   options.databases = 30;
   options.queries_per_database = 15;
   options.workers = workers;
   options.stop_on_first_finding = stop_on_first_finding;
-  EngineFactory factory = []() -> ConnectionPtr {
-    return std::make_unique<minidb::Database>(
-        Dialect::kSqliteFlex,
-        BugConfig::Single(BugId::kPartialIndexIsNotInference));
+  // Crank the widened query-space features so the byte-identity guarantee
+  // demonstrably covers joins, DISTINCT, ORDER BY, and LIMIT.
+  options.gen.explicit_join_probability = 0.8;
+  options.gen.third_table_probability = 0.6;
+  options.gen.distinct_probability = 0.5;
+  options.gen.order_by_probability = 0.6;
+  options.gen.limit_probability = 0.6;
+  EngineFactory factory = [bug]() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(Dialect::kSqliteFlex,
+                                              BugConfig::Single(bug));
   };
   PqsRunner runner(factory, options);
   return runner.Run();
@@ -54,33 +61,44 @@ void TestSameSeedSameReport() {
 // without stop_on_first_finding (where the merge truncates at the first
 // finding-bearing database, just as the sequential loop returns there).
 void TestShardedRunnerMatchesSequential() {
-  for (bool stop_on_first : {false, true}) {
-    RunReport sequential = BuggyRun(123, /*workers=*/1, stop_on_first);
-    for (int workers : {2, 4}) {
-      RunReport sharded = BuggyRun(123, workers, stop_on_first);
-      CHECK_EQ(sharded.stats.statements_executed,
-               sequential.stats.statements_executed);
-      CHECK_EQ(sharded.stats.queries_checked,
-               sequential.stats.queries_checked);
-      CHECK_EQ(sharded.stats.queries_skipped,
-               sequential.stats.queries_skipped);
-      CHECK_EQ(sharded.stats.databases_created,
-               sequential.stats.databases_created);
-      CHECK_EQ(sharded.stats.rectified_true, sequential.stats.rectified_true);
-      CHECK_EQ(sharded.stats.rectified_false,
-               sequential.stats.rectified_false);
-      CHECK_EQ(sharded.stats.rectified_null, sequential.stats.rectified_null);
-      CHECK_EQ(sharded.stats.constraint_violations,
-               sequential.stats.constraint_violations);
-      CHECK_EQ(sharded.findings.size(), sequential.findings.size());
-      for (size_t i = 0;
-           i < sharded.findings.size() && i < sequential.findings.size();
-           ++i) {
-        CHECK(sharded.findings[i].oracle == sequential.findings[i].oracle);
-        CHECK_EQ(
-            RenderScript(sharded.findings[i].statements, Dialect::kSqliteFlex),
-            RenderScript(sequential.findings[i].statements,
-                         Dialect::kSqliteFlex));
+  // Both a scan-path bug and a join-path bug: the sharding guarantee must
+  // hold for campaigns exercising the widened query space too.
+  for (BugId bug : {BugId::kPartialIndexIsNotInference,
+                    BugId::kJoinDupRightMatch}) {
+    for (bool stop_on_first : {false, true}) {
+      RunReport sequential = BuggyRun(123, /*workers=*/1, stop_on_first, bug);
+      for (int workers : {2, 4}) {
+        RunReport sharded = BuggyRun(123, workers, stop_on_first, bug);
+        CHECK_EQ(sharded.stats.statements_executed,
+                 sequential.stats.statements_executed);
+        CHECK_EQ(sharded.stats.queries_checked,
+                 sequential.stats.queries_checked);
+        CHECK_EQ(sharded.stats.queries_skipped,
+                 sequential.stats.queries_skipped);
+        CHECK_EQ(sharded.stats.databases_created,
+                 sequential.stats.databases_created);
+        CHECK_EQ(sharded.stats.rectified_true,
+                 sequential.stats.rectified_true);
+        CHECK_EQ(sharded.stats.rectified_false,
+                 sequential.stats.rectified_false);
+        CHECK_EQ(sharded.stats.rectified_null,
+                 sequential.stats.rectified_null);
+        CHECK_EQ(sharded.stats.constraint_violations,
+                 sequential.stats.constraint_violations);
+        CHECK_EQ(sharded.stats.join_conditions_rectified,
+                 sequential.stats.join_conditions_rectified);
+        CHECK_EQ(sharded.stats.limited_queries,
+                 sequential.stats.limited_queries);
+        CHECK_EQ(sharded.findings.size(), sequential.findings.size());
+        for (size_t i = 0;
+             i < sharded.findings.size() && i < sequential.findings.size();
+             ++i) {
+          CHECK(sharded.findings[i].oracle == sequential.findings[i].oracle);
+          CHECK_EQ(RenderScript(sharded.findings[i].statements,
+                                Dialect::kSqliteFlex),
+                   RenderScript(sequential.findings[i].statements,
+                                Dialect::kSqliteFlex));
+        }
       }
     }
   }
@@ -96,6 +114,12 @@ void TestShardedCampaignMatchesSequential() {
   options.databases_per_bug = 120;
   options.queries_per_database = 20;
   options.reduce = true;  // reduction must be deterministic too
+  // The sqlite-dialect registry now carries join/DISTINCT-path bugs, so
+  // this campaign covers the widened query space; crank the feature
+  // probabilities to make that coverage dense.
+  options.gen.explicit_join_probability = 0.7;
+  options.gen.distinct_probability = 0.4;
+  options.gen.order_by_probability = 0.5;
 
   auto run = [&](int workers) {
     CampaignOptions o = options;

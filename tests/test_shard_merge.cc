@@ -64,11 +64,15 @@ void TestRunStatsMerge() {
   shard1.rectified_false = 2;
   shard1.rectified_null = 1;
   shard1.constraint_violations = 5;
+  shard1.join_conditions_rectified = 6;
+  shard1.limited_queries = 2;
   RunStats shard2;
   shard2.statements_executed = 7;
   shard2.queries_checked = 2;
   shard2.databases_created = 1;
   shard2.rectified_null = 4;
+  shard2.join_conditions_rectified = 1;
+  shard2.limited_queries = 3;
   total.Merge(shard1);
   total.Merge(shard2);
   CHECK_EQ(total.statements_executed, uint64_t{17});
@@ -79,6 +83,8 @@ void TestRunStatsMerge() {
   CHECK_EQ(total.rectified_false, uint64_t{2});
   CHECK_EQ(total.rectified_null, uint64_t{5});
   CHECK_EQ(total.constraint_violations, uint64_t{5});
+  CHECK_EQ(total.join_conditions_rectified, uint64_t{7});
+  CHECK_EQ(total.limited_queries, uint64_t{5});
 }
 
 void TestCoverageMapMerge() {
@@ -111,6 +117,13 @@ void TestShardedCoverageMatchesSingleRun() {
     opts.databases = 24;
     opts.queries_per_database = 12;
     opts.workers = workers;
+    // Dense query-space features: the per-feature hit-count identity below
+    // then covers the join / DISTINCT / ORDER BY / LIMIT buckets too.
+    opts.gen.explicit_join_probability = 0.8;
+    opts.gen.third_table_probability = 0.6;
+    opts.gen.distinct_probability = 0.5;
+    opts.gen.order_by_probability = 0.6;
+    opts.gen.limit_probability = 0.6;
     WorkerEngineFactory factory = [maps](int worker) -> ConnectionPtr {
       auto db = std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
       db->set_coverage_sink(&maps[worker]);
@@ -140,6 +153,15 @@ void TestShardedCoverageMatchesSingleRun() {
               "feature %s: merged %llu != single %llu", minidb::FeatureName(f),
               static_cast<unsigned long long>(merged.Hits(f)),
               static_cast<unsigned long long>(single[0].Hits(f)));
+  }
+  // The identity above is only meaningful for the new buckets if the
+  // session actually reached them.
+  for (minidb::Feature f :
+       {minidb::Feature::kJoinInner, minidb::Feature::kJoinLeft,
+        minidb::Feature::kSelectDistinct, minidb::Feature::kSelectOrderBy,
+        minidb::Feature::kSelectLimit}) {
+    CHECK_MSG(merged.Hits(f) > 0, "feature %s never exercised",
+              minidb::FeatureName(f));
   }
 }
 

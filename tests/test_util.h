@@ -43,6 +43,70 @@ inline int Summary(const char* name) {
   return 1;
 }
 
+// ---------------------------------------------------------------------------
+// Golden-file comparison
+// ---------------------------------------------------------------------------
+
+inline bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// Compares `actual` against the checked-in golden file at `path`. Running
+// the test with PQS_UPDATE_GOLDEN=1 regenerates the file instead (commit
+// the result after reviewing the diff). On mismatch the first diverging
+// line is printed.
+inline void CheckGolden(const std::string& path, const std::string& actual) {
+  if (std::getenv("PQS_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      ++failures;
+      std::printf("FAIL: cannot write golden file %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(actual.data(), 1, actual.size(), f);
+    std::fclose(f);
+    std::printf("  (golden file %s regenerated)\n", path.c_str());
+    return;
+  }
+  std::string expected;
+  if (!ReadWholeFile(path, &expected)) {
+    ++failures;
+    std::printf("FAIL: missing golden file %s (run with "
+                "PQS_UPDATE_GOLDEN=1 to create it)\n",
+                path.c_str());
+    return;
+  }
+  if (expected == actual) return;
+  ++failures;
+  std::printf("FAIL: golden mismatch against %s\n", path.c_str());
+  size_t line = 1;
+  size_t i = 0;
+  size_t n = expected.size() < actual.size() ? expected.size() : actual.size();
+  while (i < n && expected[i] == actual[i]) {
+    if (expected[i] == '\n') ++line;
+    ++i;
+  }
+  auto line_at = [](const std::string& s, size_t pos) {
+    size_t begin = s.rfind('\n', pos == 0 ? 0 : pos - 1);
+    begin = begin == std::string::npos ? 0 : begin + 1;
+    size_t end = s.find('\n', pos);
+    return s.substr(begin, end == std::string::npos ? std::string::npos
+                                                    : end - begin);
+  };
+  std::printf("  first difference at line %zu:\n", line);
+  std::printf("  expected: %s\n", line_at(expected, i).c_str());
+  std::printf("  actual:   %s\n", line_at(actual, i).c_str());
+}
+
 }  // namespace test
 }  // namespace pqs
 
