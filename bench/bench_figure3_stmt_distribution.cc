@@ -4,7 +4,11 @@
 // (UNIQUE 22.2%, PRIMARY KEY 17.2%, CREATE INDEX 28.3%, 90% single-table).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench/bench_common.h"
+#include "src/minidb/database.h"
+#include "src/pqs/runner.h"
 
 namespace pqs {
 
@@ -41,6 +45,11 @@ void PrintFigure3() {
            "feature buckets", agg.with_explicit_join, agg.with_left_join,
            agg.with_distinct, agg.with_order_by, agg.with_limit,
            agg.total_cases);
+    printf("%-22s function:%zu cast:%zu case:%zu collate:%zu of %zu cases "
+           "(max expr depth %d)\n",
+           "expression buckets", agg.with_function_call, agg.with_cast,
+           agg.with_case, agg.with_collate, agg.total_cases,
+           agg.max_expr_depth);
 
     if (!first_dialect) json += ",\n";
     first_dialect = false;
@@ -60,9 +69,63 @@ void PrintFigure3() {
     json += ", \"distinct\": " + std::to_string(agg.with_distinct);
     json += ", \"order_by\": " + std::to_string(agg.with_order_by);
     json += ", \"limit\": " + std::to_string(agg.with_limit);
+    json += "},\n     \"expression_buckets\": {";
+    json += "\"function\": " + std::to_string(agg.with_function_call);
+    json += ", \"cast\": " + std::to_string(agg.with_cast);
+    json += ", \"case\": " + std::to_string(agg.with_case);
+    json += ", \"collate\": " + std::to_string(agg.with_collate);
+    json += ", \"max_expr_depth\": " + std::to_string(agg.max_expr_depth);
     json += "}}";
 
     pooled.Merge(agg);
+  }
+  json += "\n  ],\n";
+
+  // Depth-bucketed stats of the *generated* predicate stream (not just
+  // reduced cases): one clean seeded session per dialect, tallied by the
+  // runner into RunStats (buckets are Expr depths 1-2 / 3-4 / 5-6 / 7-8 /
+  // ≥9).
+  bench::PrintHeader("Generated-predicate depth histogram (clean session)");
+  static const char* kBucketLabels[RunStats::kDepthBuckets] = {
+      "1-2", "3-4", "5-6", "7-8", ">=9"};
+  json += "  \"predicate_depth_buckets\": [\n";
+  bool first_depth_dialect = true;
+  for (Dialect d : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
+                    Dialect::kPostgresStrict}) {
+    RunnerOptions opts;
+    opts.seed = 20200604;
+    opts.databases = 60;
+    opts.queries_per_database = 25;
+    EngineFactory factory = [d]() -> ConnectionPtr {
+      return std::make_unique<minidb::Database>(d);
+    };
+    PqsRunner runner(factory, opts);
+    RunReport report = runner.Run();
+    printf("  %-28s", bench::DialectDisplayName(d));
+    for (int b = 0; b < RunStats::kDepthBuckets; ++b) {
+      printf("  depth %s: %llu", kBucketLabels[b],
+             static_cast<unsigned long long>(
+                 report.stats.predicate_depth_buckets[b]));
+    }
+    printf("\n  %-28s predicates with function call: %llu (%llu calls in "
+           "%llu predicates)\n", "",
+           static_cast<unsigned long long>(
+               report.stats.predicates_with_function),
+           static_cast<unsigned long long>(
+               report.stats.function_calls_generated),
+           static_cast<unsigned long long>(report.stats.queries_checked));
+    if (!first_depth_dialect) json += ",\n";
+    first_depth_dialect = false;
+    json += std::string("    {\"dialect\": \"") + DialectName(d) +
+            "\", \"buckets\": [";
+    for (int b = 0; b < RunStats::kDepthBuckets; ++b) {
+      if (b > 0) json += ", ";
+      json += std::to_string(report.stats.predicate_depth_buckets[b]);
+    }
+    json += "], \"predicates_with_function\": " +
+            std::to_string(report.stats.predicates_with_function);
+    json += ", \"function_calls\": " +
+            std::to_string(report.stats.function_calls_generated) + "}";
   }
   json += "\n  ]\n}";
   bench::WriteBenchJson("BENCH_figure3_features.json", json);

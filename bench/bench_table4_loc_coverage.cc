@@ -59,8 +59,9 @@ size_t CountDirLoc(const std::string& dir) {
 void PrintTable4() {
   bench::PrintHeader("Table 4a: component sizes (LOC of this repository)");
   const char* modules[] = {"common",   "sqlvalue", "sqlast",
-                           "interp",   "minidb",   "engine",
-                           "sqlparser", "sqlite3db", "pqs"};
+                           "sqlexpr",  "interp",   "minidb",
+                           "engine",   "sqlparser", "sqlite3db",
+                           "pqs"};
   size_t total = 0;
   for (const char* m : modules) {
     size_t loc = CountDirLoc(std::string("src/") + m);
@@ -119,6 +120,25 @@ void PrintTable4() {
                merged.Hits(minidb::Feature::kSelectOrderBy)),
            static_cast<unsigned long long>(
                merged.Hits(minidb::Feature::kSelectLimit)));
+    printf("  %-28s function: %llu (variadic: %llu)  cast: %llu  case: %llu "
+           "(else: %llu)  collate: %llu  like-escape: %llu  in-null: %llu\n",
+           "",
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprFunction)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprFunctionVariadic)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprCast)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprCase)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprCaseElse)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprCollate)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprLikeEscape)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kExprInListNull)));
 
     if (!first_dialect) json += ",\n";
     first_dialect = false;

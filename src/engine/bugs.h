@@ -52,6 +52,19 @@ enum class BugId : uint32_t {
   kCollationMismatchError, // text col-vs-col compare → collation error
   kBetweenNullCrash,       // BETWEEN + IS NULL in one query → SEGFAULT
 
+  // --- Typed expression subsystem (functions / CAST / CASE / LIKE ESCAPE /
+  // --- collations), spread across the dialect flavors -------------------
+  kLikeEscapeMiss,         // LIKE ... ESCAPE processed as if no ESCAPE
+  kCastTruncAffinity,      // CAST(real AS INTEGER) rounds instead of
+                           // truncating toward zero
+  kCollateNocaseRange,     // NOCASE honored for =/<> but range comparisons
+                           // fall back to binary collation
+  kCoalesceFirstNull,      // COALESCE yields NULL when its first argument
+                           // is NULL (remaining args never consulted)
+  kCaseElseSkip,           // CASE with no matching WHEN skips the ELSE arm
+  kInListNullSemantics,    // NULL list element ignored: IN yields FALSE /
+                           // NOT IN yields TRUE instead of NULL
+
   kNumBugs,
 };
 
@@ -73,11 +86,13 @@ class BugConfig {
   bool any() const { return mask_ != 0; }
 
  private:
-  static uint32_t Bit(BugId id) { return 1u << static_cast<uint32_t>(id); }
-  uint32_t mask_ = 0;
+  static uint64_t Bit(BugId id) {
+    return uint64_t{1} << static_cast<uint32_t>(id);
+  }
+  uint64_t mask_ = 0;
 };
 
-static_assert(kNumBugIds <= 32, "BugConfig mask is 32 bits wide");
+static_assert(kNumBugIds <= 64, "BugConfig mask is 64 bits wide");
 
 }  // namespace pqs
 

@@ -6,6 +6,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <utility>
+
+#include "src/sqlexpr/registry.h"
 
 namespace pqs {
 
@@ -58,6 +61,23 @@ bool IsNegativeIntLiteral(const Expr& e) {
          e.literal.cls == StorageClass::kInteger && e.literal.i < 0;
 }
 
+// Explicit collation of a comparison, SQLite's determination rule reduced
+// to this grammar: the leftmost operand carrying a COLLATE operator wins;
+// without one the dialect default applies (kMysqlLike folds case, the
+// others compare bytes). Columns have no declared collations here, so only
+// the explicit operator can override the default.
+bool ExplicitCollation(const Expr* lhs, const Expr* rhs, Collation* out) {
+  if (lhs != nullptr && lhs->kind == ExprKind::kCollate) {
+    *out = lhs->collation;
+    return true;
+  }
+  if (rhs != nullptr && rhs->kind == ExprKind::kCollate) {
+    *out = rhs->collation;
+    return true;
+  }
+  return false;
+}
+
 // Three-valued comparison honoring dialect coercion rules. The raw Expr
 // operands (nullable for synthetic comparisons inside IN/BETWEEN) are
 // passed alongside the values because several injected bug classes trigger
@@ -89,9 +109,20 @@ EvalResult Compare(BinaryOp op, const Expr* lhs, const Expr* rhs,
     }
     cmp = da < db ? -1 : (da > db ? 1 : 0);
   } else if (a.cls == StorageClass::kText && b.cls == StorageClass::kText) {
-    if (ctx.dialect == Dialect::kMysqlLike) {
-      // MySQL's default collation is case-insensitive; that IS the
-      // documented quirk of the kMysqlLike dialect.
+    Collation explicit_coll = Collation::kBinary;
+    bool has_explicit = ExplicitCollation(lhs, rhs, &explicit_coll);
+    bool fold = has_explicit ? explicit_coll == Collation::kNocase
+                             : ctx.dialect == Dialect::kMysqlLike;
+    // Injected: the NOCASE collation is applied by the equality paths but
+    // the range-scan comparator falls back to binary ordering.
+    if (has_explicit && explicit_coll == Collation::kNocase &&
+        op != BinaryOp::kEq && op != BinaryOp::kNe &&
+        ctx.BugEnabled(BugId::kCollateNocaseRange)) {
+      fold = false;
+    }
+    if (fold) {
+      // Case-insensitive: MySQL's default collation, or an explicit
+      // COLLATE NOCASE in any dialect.
       cmp = TextCompareFold(a.t, b.t);
     } else {
       cmp = a.t.compare(b.t);
@@ -243,11 +274,222 @@ EvalResult Arithmetic(const Expr& node, const SqlValue& a, const SqlValue& b,
   return EvalResult::Of(std::move(result));
 }
 
+std::string AsciiFold(const std::string& s, bool to_upper) {
+  std::string out = s;
+  for (char& c : out) {
+    c = to_upper
+            ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+            : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// Scalar comparator for LEAST/GREATEST: explicit NOCASE-style folding only
+// under the MySQL dialect's default collation, byte-wise elsewhere, with
+// the cross-storage-class ordering of ValueCompare.
+int ScalarMinMaxCompare(const SqlValue& a, const SqlValue& b,
+                        const EvalContext& ctx) {
+  if (ctx.dialect == Dialect::kMysqlLike &&
+      a.cls == StorageClass::kText && b.cls == StorageClass::kText) {
+    return TextCompareFold(a.t, b.t);
+  }
+  return ValueCompare(a, b);
+}
+
+// Registry-driven function evaluation: arity and the NULL-propagation rule
+// come from the FunctionSig, so the evaluator cannot drift from what the
+// generator was promised when it consulted the same registry.
+EvalResult EvaluateFunction(const Expr& expr, const RowView& row,
+                            const EvalContext& ctx) {
+  const FunctionSig& sig = LookupFunction(expr.func);
+  if (!sig.available(ctx.dialect)) {
+    return EvalResult::Error(std::string("no such function: ") +
+                             sig.names[0]);
+  }
+  int argc = static_cast<int>(expr.args.size());
+  if (argc < sig.min_args || argc > sig.max_args) {
+    return EvalResult::Error(std::string("wrong number of arguments to ") +
+                             sig.NameFor(ctx.dialect));
+  }
+
+  bool strict = ctx.dialect == Dialect::kPostgresStrict;
+
+  // COALESCE evaluates lazily (a later argument must not be able to fail
+  // the call once an earlier one is non-NULL); everything else evaluates
+  // all arguments up front and applies the registry's NULL rule.
+  if (expr.func == FuncId::kCoalesce) {
+    bool first = true;
+    for (const ExprPtr& arg : expr.args) {
+      EvalResult v = Evaluate(*arg, row, ctx);
+      if (v.error) return v;
+      // Injected: the first-argument NULL check short-circuits the whole
+      // call to NULL instead of falling through to the next argument.
+      if (first && v.value.is_null() &&
+          ctx.BugEnabled(BugId::kCoalesceFirstNull)) {
+        return EvalResult::Of(SqlValue::Null());
+      }
+      first = false;
+      if (!v.value.is_null()) return v;
+    }
+    return EvalResult::Of(SqlValue::Null());
+  }
+
+  std::vector<SqlValue> args;
+  args.reserve(expr.args.size());
+  for (const ExprPtr& arg : expr.args) {
+    EvalResult v = Evaluate(*arg, row, ctx);
+    if (v.error) return v;
+    args.push_back(std::move(v.value));
+  }
+  if (sig.null_rule == NullRule::kPropagate) {
+    for (const SqlValue& v : args) {
+      if (v.is_null()) return EvalResult::Of(SqlValue::Null());
+    }
+  }
+
+  switch (expr.func) {
+    case FuncId::kAbs: {
+      const SqlValue& v = args[0];
+      if (v.cls == StorageClass::kText) {
+        if (strict) {
+          return EvalResult::Error("function abs(text) does not exist");
+        }
+        SqlValue n = ArithValue(v);
+        return EvalResult::Of(n.cls == StorageClass::kInteger
+                                  ? SqlValue::Int(n.i < 0 ? -n.i : n.i)
+                                  : SqlValue::Real(std::fabs(n.r)));
+      }
+      if (v.cls == StorageClass::kInteger) {
+        return EvalResult::Of(SqlValue::Int(v.i < 0 ? -v.i : v.i));
+      }
+      return EvalResult::Of(SqlValue::Real(std::fabs(v.r)));
+    }
+
+    case FuncId::kLength: {
+      const SqlValue& v = args[0];
+      if (v.cls != StorageClass::kText && strict) {
+        return EvalResult::Error("function length(non-text) does not exist");
+      }
+      std::string s = v.cls == StorageClass::kText ? v.t : v.ToDisplay();
+      return EvalResult::Of(SqlValue::Int(static_cast<int64_t>(s.size())));
+    }
+
+    case FuncId::kUpper:
+    case FuncId::kLower: {
+      const SqlValue& v = args[0];
+      if (v.cls != StorageClass::kText && strict) {
+        return EvalResult::Error("function upper/lower(non-text) does not "
+                                 "exist");
+      }
+      std::string s = v.cls == StorageClass::kText ? v.t : v.ToDisplay();
+      return EvalResult::Of(
+          SqlValue::Text(AsciiFold(s, expr.func == FuncId::kUpper)));
+    }
+
+    case FuncId::kNullif: {
+      EvalResult eq = Compare(BinaryOp::kEq, expr.args[0].get(),
+                              expr.args[1].get(), args[0], args[1], ctx);
+      if (eq.error) return eq;
+      if (Truthiness(eq.value, ctx.dialect) == Bool3::kTrue) {
+        return EvalResult::Of(SqlValue::Null());
+      }
+      return EvalResult::Of(args[0]);
+    }
+
+    case FuncId::kLeast:
+    case FuncId::kGreatest: {
+      bool want_greatest = expr.func == FuncId::kGreatest;
+      size_t best = 0;
+      for (size_t i = 1; i < args.size(); ++i) {
+        int cmp = ScalarMinMaxCompare(args[i], args[best], ctx);
+        if (want_greatest ? cmp > 0 : cmp < 0) best = i;
+      }
+      return EvalResult::Of(args[best]);
+    }
+
+    case FuncId::kIfnull:
+      return EvalResult::Of(args[0].is_null() ? args[1] : args[0]);
+
+    case FuncId::kCoalesce:  // handled above
+    case FuncId::kNumFuncs:
+      break;
+  }
+  return EvalResult::Error("unknown function");
+}
+
+// CAST per the SQLite affinity-conversion rules the three dialects share
+// in this model: text→INTEGER takes the integer prefix, text→REAL the
+// numeric prefix, REAL→INTEGER truncates toward zero, and anything→TEXT
+// uses the engine's value rendering. kPostgresStrict rejects text sources
+// for numeric targets (invalid input syntax) instead of prefix-parsing.
+EvalResult EvaluateCast(const Expr& expr, const SqlValue& v,
+                        const EvalContext& ctx) {
+  if (v.is_null()) return EvalResult::Of(SqlValue::Null());
+  bool strict = ctx.dialect == Dialect::kPostgresStrict;
+  switch (expr.cast_to) {
+    case Affinity::kInteger: {
+      if (v.cls == StorageClass::kInteger) return EvalResult::Of(v);
+      if (v.cls == StorageClass::kReal) {
+        // Injected: "truncation" implemented as rounding away from zero —
+        // off by one for every fractional value.
+        if (ctx.BugEnabled(BugId::kCastTruncAffinity)) {
+          double away = v.r < 0 ? std::floor(v.r) : std::ceil(v.r);
+          return EvalResult::Of(SqlValue::Int(static_cast<int64_t>(away)));
+        }
+        return EvalResult::Of(
+            SqlValue::Int(static_cast<int64_t>(std::trunc(v.r))));
+      }
+      if (strict) {
+        return EvalResult::Error("invalid input syntax for type integer");
+      }
+      const char* begin = v.t.c_str();
+      char* end = nullptr;
+      long long prefix = strtoll(begin, &end, 10);
+      return EvalResult::Of(SqlValue::Int(end == begin ? 0 : prefix));
+    }
+    case Affinity::kReal: {
+      if (v.cls == StorageClass::kReal) return EvalResult::Of(v);
+      if (v.cls == StorageClass::kInteger) {
+        return EvalResult::Of(SqlValue::Real(static_cast<double>(v.i)));
+      }
+      if (strict) {
+        return EvalResult::Error("invalid input syntax for type double "
+                                 "precision");
+      }
+      return EvalResult::Of(SqlValue::Real(ParseNumericPrefix(v.t)));
+    }
+    case Affinity::kText:
+      return EvalResult::Of(SqlValue::Text(v.ToDisplay()));
+  }
+  return EvalResult::Of(v);
+}
+
 }  // namespace
 
 bool LikeMatch(const std::string& text, const std::string& pattern,
-               bool case_insensitive) {
-  // Iterative glob matcher with backtracking over the last '%'.
+               bool case_insensitive, int escape) {
+  // Tokenize the pattern first so an escaped wildcard becomes an ordinary
+  // literal token; a trailing escape character matches itself literally.
+  enum class Tok : char { kAnyOne, kAnySeq, kLiteral };
+  std::vector<std::pair<Tok, char>> tokens;
+  tokens.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (escape >= 0 && c == static_cast<char>(escape)) {
+      // A pattern ending in a bare escape character matches nothing in
+      // real SQLite; anything else escaped is an ordinary literal.
+      if (i + 1 >= pattern.size()) return false;
+      tokens.emplace_back(Tok::kLiteral, pattern[++i]);
+    } else if (c == '_') {
+      tokens.emplace_back(Tok::kAnyOne, c);
+    } else if (c == '%') {
+      tokens.emplace_back(Tok::kAnySeq, c);
+    } else {
+      tokens.emplace_back(Tok::kLiteral, c);
+    }
+  }
+
+  // Iterative glob matcher with backtracking over the last kAnySeq.
   size_t ti = 0;
   size_t pi = 0;
   size_t star_pi = std::string::npos;
@@ -258,11 +500,13 @@ bool LikeMatch(const std::string& text, const std::string& pattern,
                : c;
   };
   while (ti < text.size()) {
-    if (pi < pattern.size() &&
-        (pattern[pi] == '_' || norm(pattern[pi]) == norm(text[ti]))) {
+    if (pi < tokens.size() &&
+        (tokens[pi].first == Tok::kAnyOne ||
+         (tokens[pi].first == Tok::kLiteral &&
+          norm(tokens[pi].second) == norm(text[ti])))) {
       ++ti;
       ++pi;
-    } else if (pi < pattern.size() && pattern[pi] == '%') {
+    } else if (pi < tokens.size() && tokens[pi].first == Tok::kAnySeq) {
       star_pi = pi++;
       star_ti = ti;
     } else if (star_pi != std::string::npos) {
@@ -272,8 +516,8 @@ bool LikeMatch(const std::string& text, const std::string& pattern,
       return false;
     }
   }
-  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
-  return pi == pattern.size();
+  while (pi < tokens.size() && tokens[pi].first == Tok::kAnySeq) ++pi;
+  return pi == tokens.size();
 }
 
 Bool3 Truthiness(const SqlValue& v, Dialect dialect) {
@@ -418,7 +662,11 @@ EvalResult Evaluate(const Expr& expr, const RowView& row,
         }
         if (b == Bool3::kNull) saw_null = true;
       }
-      if (saw_null) return EvalResult::Of(SqlValue::Null());
+      // Injected: the UNKNOWN contributed by a NULL list element is
+      // dropped, collapsing x IN (..., NULL) to FALSE (NOT IN to TRUE).
+      if (saw_null && !ctx.BugEnabled(BugId::kInListNullSemantics)) {
+        return EvalResult::Of(SqlValue::Null());
+      }
       return EvalResult::Of(SqlValue::Bool(expr.negated));
     }
 
@@ -468,10 +716,54 @@ EvalResult Evaluate(const Expr& expr, const RowView& row,
           pattern.front() == '%') {
         pattern.erase(pattern.begin());
       }
+      int escape = -1;
+      if (expr.args.size() > 2 && expr.args[2] != nullptr) {
+        EvalResult esc = Evaluate(*expr.args[2], row, ctx);
+        if (esc.error) return esc;
+        if (esc.value.cls != StorageClass::kText || esc.value.t.size() != 1) {
+          return EvalResult::Error("ESCAPE expression must be a single "
+                                   "character");
+        }
+        // Injected: the ESCAPE clause parses but the matcher never learns
+        // about it — escaped wildcards stay wildcards.
+        if (!ctx.BugEnabled(BugId::kLikeEscapeMiss)) {
+          escape = static_cast<unsigned char>(esc.value.t[0]);
+        }
+      }
       bool fold = ctx.dialect != Dialect::kPostgresStrict;
-      bool match = LikeMatch(text, pattern, fold);
+      bool match = LikeMatch(text, pattern, fold, escape);
       return EvalResult::Of(SqlValue::Bool(match != expr.negated));
     }
+
+    case ExprKind::kFunctionCall:
+      return EvaluateFunction(expr, row, ctx);
+
+    case ExprKind::kCast: {
+      EvalResult operand = Evaluate(*expr.args[0], row, ctx);
+      if (operand.error) return operand;
+      return EvaluateCast(expr, operand.value, ctx);
+    }
+
+    case ExprKind::kCase: {
+      size_t arms = expr.CaseArmCount();
+      for (size_t i = 0; i < arms; ++i) {
+        EvalResult when = Evaluate(*expr.args[2 * i], row, ctx);
+        if (when.error) return when;
+        if (Truthiness(when.value, ctx.dialect) == Bool3::kTrue) {
+          return Evaluate(*expr.args[2 * i + 1], row, ctx);
+        }
+      }
+      // Injected: the fall-through path forgets the ELSE arm exists.
+      if (expr.case_has_else && !ctx.BugEnabled(BugId::kCaseElseSkip)) {
+        return Evaluate(*expr.CaseElse(), row, ctx);
+      }
+      return EvalResult::Of(SqlValue::Null());
+    }
+
+    case ExprKind::kCollate:
+      // The COLLATE operator changes how an enclosing comparison orders
+      // text (see ExplicitCollation); the value itself passes through.
+      return Evaluate(*expr.args[0], row, ctx);
   }
   return EvalResult::Error("unknown expression kind");
 }

@@ -79,9 +79,12 @@ Bool3 Truthiness(const SqlValue& v, Dialect dialect);
 Bool3 EvaluatePredicate(const Expr& expr, const RowView& row,
                         const EvalContext& ctx, bool* error);
 
-// SQL LIKE with % and _ wildcards. Exposed for tests.
+// SQL LIKE with % and _ wildcards and an optional ESCAPE character
+// (escape < 0 means no ESCAPE clause; an escaped wildcard matches itself
+// literally, and a pattern ending in a bare escape character matches
+// nothing, as in real SQLite). Exposed for tests.
 bool LikeMatch(const std::string& text, const std::string& pattern,
-               bool case_insensitive);
+               bool case_insensitive, int escape = -1);
 
 // ---------------------------------------------------------------------------
 // Relational helpers (joins, DISTINCT, ORDER BY, LIMIT)

@@ -83,6 +83,26 @@ const std::vector<BugInfo>& BuildRegistry() {
       {BugId::kBetweenNullCrash, "between-null-crash",
        Dialect::kPostgresStrict, OracleKind::kCrash,
        ReportOutcome::kDuplicate},
+
+      // Typed expression subsystem (functions / CAST / CASE / LIKE ESCAPE /
+      // collations): 4 SQLite, 1 MySQL, 1 PostgreSQL, all containment —
+      // expression semantics drift silently, it does not error or crash.
+      {BugId::kLikeEscapeMiss, "like-escape-miss", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kCastTruncAffinity, "cast-trunc-affinity",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kCollateNocaseRange, "collate-nocase-range",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kVerified},
+      {BugId::kCoalesceFirstNull, "coalesce-first-null",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kCaseElseSkip, "case-else-skip", Dialect::kMysqlLike,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kInListNullSemantics, "in-list-null-semantics",
+       Dialect::kPostgresStrict, OracleKind::kContainment,
+       ReportOutcome::kVerified},
   };
   return registry;
 }

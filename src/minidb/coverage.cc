@@ -49,6 +49,14 @@ const char* FeatureName(Feature f) {
     case Feature::kNullComparison: return "null-comparison";
     case Feature::kCrossTypeComparison: return "cross-type-comparison";
     case Feature::kStatementError: return "statement-error";
+    case Feature::kExprFunction: return "expr-function";
+    case Feature::kExprFunctionVariadic: return "expr-function-variadic";
+    case Feature::kExprCast: return "expr-cast";
+    case Feature::kExprCase: return "expr-case";
+    case Feature::kExprCaseElse: return "expr-case-else";
+    case Feature::kExprCollate: return "expr-collate";
+    case Feature::kExprLikeEscape: return "expr-like-escape";
+    case Feature::kExprInListNull: return "expr-in-list-null";
     case Feature::kFeatureCount: break;
   }
   return "?";

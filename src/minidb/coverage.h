@@ -60,6 +60,15 @@ enum class Feature : size_t {
   kNullComparison,
   kCrossTypeComparison,
   kStatementError,
+  // Typed expression subsystem (functions / CAST / CASE / collations).
+  kExprFunction,          // any registry function call
+  kExprFunctionVariadic,  // function call with ≥3 arguments
+  kExprCast,
+  kExprCase,
+  kExprCaseElse,          // CASE carrying an ELSE arm
+  kExprCollate,
+  kExprLikeEscape,        // LIKE with an ESCAPE clause
+  kExprInListNull,        // IN list containing a NULL element
 
   kFeatureCount,
 };

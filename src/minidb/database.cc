@@ -458,12 +458,37 @@ void Database::MarkExprFeatures(const Expr& expr) {
       break;
     case ExprKind::kInList:
       Mark(Feature::kExprInList);
+      for (size_t i = 1; i < expr.args.size(); ++i) {
+        if (expr.args[i] != nullptr &&
+            expr.args[i]->kind == ExprKind::kLiteral &&
+            expr.args[i]->literal.is_null()) {
+          Mark(Feature::kExprInListNull);
+          break;
+        }
+      }
       break;
     case ExprKind::kBetween:
       Mark(Feature::kExprBetween);
       break;
     case ExprKind::kLike:
       Mark(Feature::kExprLike);
+      if (expr.args.size() > 2 && expr.args[2] != nullptr) {
+        Mark(Feature::kExprLikeEscape);
+      }
+      break;
+    case ExprKind::kFunctionCall:
+      Mark(Feature::kExprFunction);
+      if (expr.args.size() >= 3) Mark(Feature::kExprFunctionVariadic);
+      break;
+    case ExprKind::kCast:
+      Mark(Feature::kExprCast);
+      break;
+    case ExprKind::kCase:
+      Mark(Feature::kExprCase);
+      if (expr.case_has_else) Mark(Feature::kExprCaseElse);
+      break;
+    case ExprKind::kCollate:
+      Mark(Feature::kExprCollate);
       break;
   }
   for (const ExprPtr& a : expr.args) {

@@ -66,6 +66,11 @@ BugHuntResult HuntBug(BugId bug, const CampaignOptions& options) {
   result.dialect = info.dialect;
   result.outcome = info.outcome;
 
+  // Reject malformed generator options up front (the runner would also
+  // refuse them, but a campaign should not silently hunt nothing).
+  result.invalid_options = options.gen.Validate();
+  if (!result.invalid_options.empty()) return result;
+
   Dialect dialect = info.dialect;
   EngineFactory buggy = [dialect, bug]() -> ConnectionPtr {
     return std::make_unique<minidb::Database>(dialect,

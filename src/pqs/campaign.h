@@ -8,6 +8,7 @@
 #define PQS_SRC_PQS_CAMPAIGN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/engine/bugs.h"
@@ -26,7 +27,10 @@ const char* ReportOutcomeName(ReportOutcome outcome);
 struct CampaignOptions {
   uint64_t seed = 1;
   // Detection budget per bug: up to this many generated databases...
-  int databases_per_bug = 100;
+  // (160 holds the whole 35-bug registry's worst observed detection
+  // latency across seeds with ~15% headroom; the heavy-tail cases are the
+  // data-dependent expression bugs like coalesce-first-null.)
+  int databases_per_bug = 160;
   // ...with this many oracle-checked queries each.
   int queries_per_database = 20;
   bool reduce = true;
@@ -48,6 +52,10 @@ struct BugHuntResult {
   ReportOutcome outcome = ReportOutcome::kFixed;
 
   bool detected = false;
+  // Non-empty when GeneratorOptions::Validate() rejected the options; the
+  // hunt performed no work (distinguishes "not found in budget" from
+  // "never hunted").
+  std::string invalid_options;
   OracleKind oracle = OracleKind::kContainment;  // oracle that fired
   // The finding (reduced when CampaignOptions::reduce, raw otherwise).
   Finding reduced;

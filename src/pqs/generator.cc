@@ -1,6 +1,9 @@
 #include "src/pqs/generator.h"
 
 #include <memory>
+#include <utility>
+
+#include "src/sqlexpr/registry.h"
 
 namespace pqs {
 
@@ -41,6 +44,56 @@ bool IsNumericAffinity(Affinity a) {
 
 }  // namespace
 
+std::string GeneratorOptions::Validate() const {
+  auto check_count = [](const char* name, int v) -> std::string {
+    if (v < 0) return std::string(name) + " must be non-negative";
+    return "";
+  };
+  auto check_prob = [](const char* name, double p) -> std::string {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return std::string(name) + " must be within [0, 1]";
+    }
+    return "";
+  };
+  const std::pair<const char*, int> counts[] = {
+      {"min_rows", min_rows},
+      {"max_rows", max_rows},
+      {"max_tables", max_tables},
+      {"max_columns", max_columns},
+      {"max_predicate_depth", max_predicate_depth},
+      {"max_order_keys", max_order_keys},
+  };
+  for (const auto& [name, v] : counts) {
+    std::string err = check_count(name, v);
+    if (!err.empty()) return err;
+  }
+  if (min_rows > max_rows) return "min_rows must not exceed max_rows";
+  const std::pair<const char*, double> probs[] = {
+      {"index_probability", index_probability},
+      {"partial_index_probability", partial_index_probability},
+      {"null_probability", null_probability},
+      {"multi_table_query_probability", multi_table_query_probability},
+      {"explicit_join_probability", explicit_join_probability},
+      {"third_table_probability", third_table_probability},
+      {"left_join_probability", left_join_probability},
+      {"cross_join_probability", cross_join_probability},
+      {"distinct_probability", distinct_probability},
+      {"order_by_probability", order_by_probability},
+      {"limit_probability", limit_probability},
+      {"function_probability", function_probability},
+      {"cast_probability", cast_probability},
+      {"case_probability", case_probability},
+      {"collate_probability", collate_probability},
+      {"like_escape_probability", like_escape_probability},
+      {"in_list_null_probability", in_list_null_probability},
+  };
+  for (const auto& [name, p] : probs) {
+    std::string err = check_prob(name, p);
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
 JoinKind Generator::RandomJoinKind(Rng* rng) const {
   double roll = rng->Unit();
   if (roll < options_.left_join_probability) return JoinKind::kLeft;
@@ -56,8 +109,12 @@ Generator::Generator(const GeneratorOptions& options, Dialect dialect)
       strict_(dialect == Dialect::kPostgresStrict) {}
 
 std::string Generator::RandomText(Rng* rng) const {
-  return rng->Pick<std::string>({"", "a", "A", "ab", "aB", "ba", "12", "12ab",
-                                 "-3", "xyz", "x", "aa"});
+  // Includes strings carrying literal SQL wildcards ('a%b', '_x', ...) so
+  // LIKE ... ESCAPE patterns have something to distinguish: an escaped
+  // wildcard matches these, an unescaped one matches almost anything.
+  return rng->Pick<std::string>({"", "a", "A", "B", "ab", "aB", "Ab", "ba",
+                                 "12", "12ab", "-3", "xyz", "x", "aa", "a%b",
+                                 "a_", "100%", "_x", "%"});
 }
 
 SqlValue Generator::RandomLiteralNear(Affinity affinity, Rng* rng) const {
@@ -291,6 +348,162 @@ ExprPtr Generator::GenOperand(const std::vector<const TableSchema*>& tables,
   return MakeLiteral(RandomLiteralNear(col->affinity, rng));
 }
 
+ExprPtr Generator::MaybeCollate(ExprPtr text_operand, Rng* rng,
+                                bool* collated) const {
+  if (collated != nullptr) *collated = false;
+  if (dialect_ != Dialect::kSqliteFlex ||
+      !rng->Chance(options_.collate_probability)) {
+    return text_operand;
+  }
+  if (collated != nullptr) *collated = true;
+  // NOCASE dominates: BINARY is the default anyway, so an explicit BINARY
+  // only exercises the operator plumbing, not new orderings.
+  Collation collation =
+      rng->Chance(0.75) ? Collation::kNocase : Collation::kBinary;
+  return MakeCollate(std::move(text_operand), collation);
+}
+
+ExprPtr Generator::GenFunctionExpr(
+    const std::vector<const TableSchema*>& tables, Rng* rng,
+    Affinity* result_affinity) const {
+  // Columns of each type class, for building statically typed arguments.
+  std::vector<std::pair<const TableSchema*, const ColumnDef*>> numeric;
+  std::vector<std::pair<const TableSchema*, const ColumnDef*>> text;
+  for (const TableSchema* table : tables) {
+    for (const ColumnDef& col : table->columns) {
+      (IsNumericAffinity(col.affinity) ? numeric : text)
+          .emplace_back(table, &col);
+    }
+  }
+
+  // Availability is the registry's call; the NULL-handling family
+  // (COALESCE / NULLIF / IFNULL) is listed twice so the bug classes living
+  // in those code paths are reached at a useful rate.
+  std::vector<const FunctionSig*> pool;
+  for (const FunctionSig* sig : FunctionsForDialect(dialect_)) {
+    pool.push_back(sig);
+    if (sig->null_rule == NullRule::kCustom) pool.push_back(sig);
+  }
+  const FunctionSig& sig = *pool[rng->Below(pool.size())];
+
+  auto column_arg =
+      [&](const std::vector<std::pair<const TableSchema*, const ColumnDef*>>&
+              candidates) -> std::pair<ExprPtr, Affinity> {
+    const auto& [table, col] = candidates[rng->Below(candidates.size())];
+    return {MakeColumnRef(table->name, col->name), col->affinity};
+  };
+
+  switch (sig.arg_class) {
+    case ArgClass::kNumeric: {
+      ExprPtr arg;
+      Affinity affinity = Affinity::kInteger;
+      if (!numeric.empty()) {
+        auto [expr, a] = column_arg(numeric);
+        arg = std::move(expr);
+        affinity = a;
+      } else {
+        arg = MakeIntLiteral(rng->IntIn(-9, 9));
+      }
+      *result_affinity = affinity;
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(arg));
+      return MakeFunctionCall(sig.id, std::move(args));
+    }
+    case ArgClass::kText: {
+      ExprPtr arg = !text.empty()
+                        ? column_arg(text).first
+                        : MakeTextLiteral(RandomText(rng));
+      *result_affinity =
+          sig.id == FuncId::kLength ? Affinity::kInteger : Affinity::kText;
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(arg));
+      return MakeFunctionCall(sig.id, std::move(args));
+    }
+    case ArgClass::kUniform: {
+      // Anchor on one column; every further argument stays in its type
+      // class (a same-class column or a literal near it), which is what
+      // keeps kPostgresStrict calls statically well-typed.
+      const TableSchema* anchor_table = nullptr;
+      const ColumnDef* anchor = PickColumn(tables, &anchor_table, rng);
+      const auto& same_class =
+          IsNumericAffinity(anchor->affinity) ? numeric : text;
+      int argc = static_cast<int>(rng->IntIn(sig.min_args, sig.max_args));
+      std::vector<ExprPtr> args;
+      // First argument: the anchor column — or, for the NULL-handling
+      // family, occasionally NULLIF(anchor, lit) nested inside, so the
+      // custom NULL paths see NULL first arguments from non-NULL data too.
+      if (sig.null_rule == NullRule::kCustom && rng->Chance(0.3)) {
+        std::vector<ExprPtr> inner;
+        inner.push_back(MakeColumnRef(anchor_table->name, anchor->name));
+        inner.push_back(
+            MakeLiteral(RandomLiteralNear(anchor->affinity, rng)));
+        args.push_back(MakeFunctionCall(FuncId::kNullif, std::move(inner)));
+      } else {
+        args.push_back(MakeColumnRef(anchor_table->name, anchor->name));
+      }
+      for (int i = 1; i < argc; ++i) {
+        if (!same_class.empty() && rng->Chance(0.35)) {
+          args.push_back(column_arg(same_class).first);
+        } else {
+          args.push_back(
+              MakeLiteral(RandomLiteralNear(anchor->affinity, rng)));
+        }
+      }
+      *result_affinity = anchor->affinity;
+      return MakeFunctionCall(sig.id, std::move(args));
+    }
+  }
+  *result_affinity = Affinity::kInteger;
+  return MakeIntLiteral(0);
+}
+
+ExprPtr Generator::GenCastExpr(const std::vector<const TableSchema*>& tables,
+                               Rng* rng, Affinity* result_affinity,
+                               bool* operand_numeric) const {
+  const TableSchema* table = nullptr;
+  const ColumnDef* col = PickColumn(tables, &table, rng);
+  *operand_numeric = IsNumericAffinity(col->affinity);
+  // Bias toward REAL → INTEGER: the truncation-toward-zero rule is where
+  // CAST semantics actually diverge between engines (and where the
+  // cast-trunc-affinity bug class lives).
+  if (rng->Chance(0.6)) {
+    for (const TableSchema* t : tables) {
+      for (const ColumnDef& c : t->columns) {
+        if (c.affinity == Affinity::kReal) {
+          *result_affinity = Affinity::kInteger;
+          *operand_numeric = true;
+          return MakeCast(MakeColumnRef(t->name, c.name),
+                          Affinity::kInteger);
+        }
+      }
+    }
+  }
+  Affinity target;
+  if (strict_ && !IsNumericAffinity(col->affinity)) {
+    // PostgreSQL rejects text→numeric casts of arbitrary text at runtime
+    // (invalid input syntax), so the strict dialect only casts text to
+    // TEXT — the numeric targets come from numeric sources.
+    target = Affinity::kText;
+  } else {
+    target = rng->Pick<Affinity>(
+        {Affinity::kInteger, Affinity::kReal, Affinity::kText});
+  }
+  *result_affinity = target;
+  return MakeCast(MakeColumnRef(table->name, col->name), target);
+}
+
+ExprPtr Generator::GenCasePredicate(
+    const std::vector<const TableSchema*>& tables, Rng* rng) const {
+  std::vector<std::pair<ExprPtr, ExprPtr>> arms;
+  int arm_count = static_cast<int>(rng->IntIn(1, 2));
+  for (int i = 0; i < arm_count; ++i) {
+    arms.emplace_back(GenLeaf(tables, rng), GenLeaf(tables, rng));
+  }
+  ExprPtr else_value =
+      rng->Chance(0.75) ? GenLeaf(tables, rng) : nullptr;
+  return MakeCase(std::move(arms), std::move(else_value));
+}
+
 ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
                            Rng* rng) const {
   const TableSchema* table = nullptr;
@@ -299,6 +512,37 @@ ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
   double roll = rng->Unit();
 
   if (roll < 0.30) {
+    // Comparison leaf. The left operand is a registry function call, a
+    // CAST, or the plain column (with an occasional explicit COLLATE on
+    // text); the literal follows the operand's result affinity.
+    if (rng->Chance(options_.function_probability)) {
+      Affinity result = Affinity::kInteger;
+      ExprPtr call = GenFunctionExpr(tables, rng, &result);
+      return MakeBinary(RandomComparison(rng), std::move(call),
+                        MakeLiteral(RandomLiteralNear(result, rng)));
+    }
+    if (rng->Chance(options_.cast_probability)) {
+      Affinity result = Affinity::kInteger;
+      bool operand_numeric = false;
+      ExprPtr cast = GenCastExpr(tables, rng, &result, &operand_numeric);
+      // Half the integer casts of a numeric column compare against their
+      // own operand (CAST(x AS INTEGER) <= x — the metamorphic shape whose
+      // outcome hinges entirely on the conversion rule); the rest compare
+      // against a literal kept inside the cast image. Text operands never
+      // self-compare: see GenCastExpr on CAST affinity.
+      if (result == Affinity::kInteger && operand_numeric &&
+          cast->args[0]->kind == ExprKind::kColumnRef &&
+          rng->Chance(0.5)) {
+        ExprPtr operand = cast->args[0]->Clone();
+        return MakeBinary(RandomComparison(rng), std::move(cast),
+                          std::move(operand));
+      }
+      ExprPtr lit = result == Affinity::kInteger
+                        ? MakeIntLiteral(rng->IntIn(-3, 3))
+                        : MakeLiteral(RandomLiteralNear(result, rng));
+      return MakeBinary(RandomComparison(rng), std::move(cast),
+                        std::move(lit));
+    }
     // Column vs literal comparison.
     SqlValue lit = RandomLiteralNear(col->affinity, rng);
     if (!strict_) {
@@ -315,6 +559,16 @@ ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
         lit = SqlValue::Text(rng->Pick<std::string>({"abc", "x", "zz"}));
       }
     }
+    if (col->affinity == Affinity::kText && lit.cls == StorageClass::kText) {
+      bool collated = false;
+      col_ref = MaybeCollate(std::move(col_ref), rng, &collated);
+      // Collation only matters for case-variant text, so collated
+      // comparisons draw their literal from the case-rich subset.
+      if (collated) {
+        lit = SqlValue::Text(rng->Pick<std::string>(
+            {"A", "B", "a", "ab", "aB", "Ab", "ba", "aa"}));
+      }
+    }
     return MakeBinary(RandomComparison(rng), std::move(col_ref),
                       MakeLiteral(std::move(lit)));
   }
@@ -328,6 +582,10 @@ ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
     bool compatible = IsNumericAffinity(col->affinity) ==
                       IsNumericAffinity(other->affinity);
     if (compatible) {
+      if (col->affinity == Affinity::kText &&
+          other->affinity == Affinity::kText) {
+        col_ref = MaybeCollate(std::move(col_ref), rng);
+      }
       return MakeBinary(RandomComparison(rng), std::move(col_ref),
                         MakeColumnRef(other_table->name, other->name));
     }
@@ -392,20 +650,30 @@ ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
     return MakeIsNull(std::move(operand), rng->Chance(0.5));
   }
   if (roll < 0.78) {
-    // IN list (small literal pools make duplicates reasonably likely).
+    // IN list (small literal pools make duplicates reasonably likely). A
+    // NULL element turns a miss into UNKNOWN — the three-valued corner
+    // the in-list-null-semantics bug class lives in.
     std::vector<ExprPtr> list;
     int n = static_cast<int>(rng->IntIn(2, 4));
     for (int i = 0; i < n; ++i) {
       list.push_back(MakeLiteral(RandomLiteralNear(col->affinity, rng)));
+    }
+    if (rng->Chance(options_.in_list_null_probability)) {
+      list[rng->Below(list.size())] = MakeNullLiteral();
     }
     return MakeInList(std::move(col_ref), std::move(list),
                       rng->Chance(0.25));
   }
   if (roll < 0.88) {
     // BETWEEN with bounds in random order (an inverted range is valid SQL;
-    // it just selects nothing).
+    // it just selects nothing). A text BETWEEN may collate explicitly —
+    // BETWEEN desugars to two range comparisons, the exact spot the
+    // collate-nocase-range bug class corrupts.
     ExprPtr lo = MakeLiteral(RandomLiteralNear(col->affinity, rng));
     ExprPtr hi = MakeLiteral(RandomLiteralNear(col->affinity, rng));
+    if (col->affinity == Affinity::kText) {
+      col_ref = MaybeCollate(std::move(col_ref), rng);
+    }
     return MakeBetween(std::move(col_ref), std::move(lo), std::move(hi),
                        rng->Chance(0.25));
   }
@@ -413,6 +681,15 @@ ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
   // chosen column is not text (or, in flexible dialects, allow the
   // engine-defined text conversion occasionally).
   if (col->affinity == Affinity::kText || (!strict_ && rng->Chance(0.3))) {
+    if (rng->Chance(options_.like_escape_probability)) {
+      // Escaped-wildcard patterns ('!' is the ESCAPE character): they only
+      // match values carrying a literal % or _, which the text pool
+      // deliberately contains.
+      std::string pattern = rng->Pick<std::string>(
+          {"%!%%", "a!%%", "!_%", "%a!%%", "%!__"});
+      return MakeLikeEscape(std::move(col_ref), MakeTextLiteral(pattern),
+                            MakeTextLiteral("!"), rng->Chance(0.3));
+    }
     std::string pattern = rng->Pick<std::string>(
         {"%a%", "a%", "%b", "_", "%12%", "%ab%", "ab%", "%xy%", "%"});
     if (dialect_ == Dialect::kSqliteFlex && rng->Chance(0.1)) {
@@ -432,6 +709,11 @@ ExprPtr Generator::GenLeaf(const std::vector<const TableSchema*>& tables,
 ExprPtr Generator::GenPredicate(const std::vector<const TableSchema*>& tables,
                                 int depth, Rng* rng) const {
   if (depth <= 0 || rng->Chance(0.4)) return GenLeaf(tables, rng);
+  // Searched CASE in predicate position: WHEN/THEN/ELSE arms are leaf
+  // predicates, so the whole node stays boolean-shaped for rectification.
+  if (rng->Chance(options_.case_probability)) {
+    return GenCasePredicate(tables, rng);
+  }
   double roll = rng->Unit();
   if (roll < 0.42) {
     return MakeBinary(BinaryOp::kAnd, GenPredicate(tables, depth - 1, rng),

@@ -8,6 +8,7 @@
 #ifndef PQS_SRC_PQS_GENERATOR_H_
 #define PQS_SRC_PQS_GENERATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -48,6 +49,30 @@ struct GeneratorOptions {
   // generated more rarely; its sound bound is the whole result).
   double limit_probability = 0.5;
   int max_order_keys = 2;
+
+  // --- Typed expression subsystem (functions / CAST / CASE / LIKE ESCAPE
+  // --- / collations / NULL-bearing IN lists). ---------------------------
+  // Probability a comparison leaf anchors on a registry function call
+  // (dialect availability comes from sqlexpr::FunctionsForDialect).
+  double function_probability = 0.3;
+  // Probability a comparison leaf anchors on CAST(col AS type).
+  double cast_probability = 0.2;
+  // Probability a composite level emits a searched CASE predicate.
+  double case_probability = 0.12;
+  // Probability a text comparison operand gets an explicit COLLATE
+  // (kSqliteFlex only; the other dialects never emit the operator).
+  double collate_probability = 0.35;
+  // Probability a LIKE leaf uses an escaped pattern with an ESCAPE clause.
+  double like_escape_probability = 0.4;
+  // Probability an IN list includes a NULL element (UNKNOWN semantics).
+  double in_list_null_probability = 0.25;
+
+  // Validates ranges: depths/counts non-negative, row bounds ordered, and
+  // every probability within [0, 1]. Returns an empty string when valid,
+  // else a description of the first offending field. RunnerOptions /
+  // CampaignOptions setup calls this so a bad CLI flag fails loudly
+  // instead of silently skewing generation.
+  std::string Validate() const;
 };
 
 struct TableSchema {
@@ -108,6 +133,28 @@ class Generator {
                   Rng* rng) const;
   ExprPtr GenOperand(const std::vector<const TableSchema*>& tables,
                      Rng* rng) const;
+  // Registry-driven function-call operand: picks a function available in
+  // the dialect, builds statically type-correct arguments over the tables'
+  // columns, and reports the result's affinity class for the enclosing
+  // comparison.
+  ExprPtr GenFunctionExpr(const std::vector<const TableSchema*>& tables,
+                          Rng* rng, Affinity* result_affinity) const;
+  // CAST(col AS type) operand; strict dialects never cast text sources to
+  // numeric targets. *operand_numeric reports whether the cast source is a
+  // numeric-affinity column (callers must not compare the cast against a
+  // text-affinity operand: a CAST carries its target type's affinity in
+  // real SQLite, which would coerce the text side numerically — a rule the
+  // storage-class model deliberately does not reproduce).
+  ExprPtr GenCastExpr(const std::vector<const TableSchema*>& tables,
+                      Rng* rng, Affinity* result_affinity,
+                      bool* operand_numeric) const;
+  // Searched CASE predicate with comparison-leaf arms.
+  ExprPtr GenCasePredicate(const std::vector<const TableSchema*>& tables,
+                           Rng* rng) const;
+  // Wraps a text operand in COLLATE BINARY/NOCASE (kSqliteFlex only).
+  // *collated (optional) reports whether the wrap happened.
+  ExprPtr MaybeCollate(ExprPtr text_operand, Rng* rng,
+                       bool* collated = nullptr) const;
   const ColumnDef* PickColumn(const std::vector<const TableSchema*>& tables,
                               const TableSchema** table, Rng* rng) const;
   SqlValue RandomValueFor(Affinity affinity, Rng* rng) const;

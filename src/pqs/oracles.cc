@@ -62,6 +62,13 @@ void AggregateStats::Add(const TestCaseStats& tc) {
   with_distinct += tc.has_distinct ? 1 : 0;
   with_order_by += tc.has_order_by ? 1 : 0;
   with_limit += tc.has_limit ? 1 : 0;
+  with_function_call += tc.has_function_call ? 1 : 0;
+  with_cast += tc.has_cast ? 1 : 0;
+  with_case += tc.has_case ? 1 : 0;
+  with_collate += tc.has_collate ? 1 : 0;
+  if (tc.max_expr_depth > max_expr_depth) {
+    max_expr_depth = tc.max_expr_depth;
+  }
 }
 
 void AggregateStats::Merge(const AggregateStats& other) {
@@ -84,6 +91,13 @@ void AggregateStats::Merge(const AggregateStats& other) {
   with_distinct += other.with_distinct;
   with_order_by += other.with_order_by;
   with_limit += other.with_limit;
+  with_function_call += other.with_function_call;
+  with_cast += other.with_cast;
+  with_case += other.with_case;
+  with_collate += other.with_collate;
+  if (other.max_expr_depth > max_expr_depth) {
+    max_expr_depth = other.max_expr_depth;
+  }
 }
 
 double AggregateStats::AverageLoc() const {
@@ -130,9 +144,19 @@ TestCaseStats AnalyzeTestCase(const Finding& finding) {
       case StmtKind::kSelect: {
         const auto& sel = static_cast<const SelectStmt&>(*s);
         stats.has_explicit_join |= !sel.joins.empty();
+        auto scan_expr = [&stats](const Expr& e) {
+          stats.has_function_call |= e.ContainsKind(ExprKind::kFunctionCall);
+          stats.has_cast |= e.ContainsKind(ExprKind::kCast);
+          stats.has_case |= e.ContainsKind(ExprKind::kCase);
+          stats.has_collate |= e.ContainsKind(ExprKind::kCollate);
+          int depth = e.Depth();
+          if (depth > stats.max_expr_depth) stats.max_expr_depth = depth;
+        };
         for (const JoinClause& join : sel.joins) {
           stats.has_left_join |= join.kind == JoinKind::kLeft;
+          if (join.on != nullptr) scan_expr(*join.on);
         }
+        if (sel.where != nullptr) scan_expr(*sel.where);
         stats.has_distinct |= sel.distinct;
         stats.has_order_by |= !sel.order_by.empty();
         stats.has_limit |= sel.limit >= 0;

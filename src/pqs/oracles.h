@@ -70,6 +70,14 @@ struct TestCaseStats {
   bool has_distinct = false;
   bool has_order_by = false;
   bool has_limit = false;
+  // Typed-expression buckets (PR 4): registry function calls, CAST, CASE,
+  // and COLLATE anywhere in a SELECT's expressions, plus the maximum
+  // expression depth seen across the test case's WHERE/ON predicates.
+  bool has_function_call = false;
+  bool has_cast = false;
+  bool has_case = false;
+  bool has_collate = false;
+  int max_expr_depth = 0;
 };
 
 struct CategoryStat {
@@ -94,6 +102,13 @@ struct AggregateStats {
   size_t with_distinct = 0;
   size_t with_order_by = 0;
   size_t with_limit = 0;
+  // Typed-expression buckets.
+  size_t with_function_call = 0;
+  size_t with_cast = 0;
+  size_t with_case = 0;
+  size_t with_collate = 0;
+  // Deepest WHERE/ON expression seen across all test cases.
+  int max_expr_depth = 0;
 
   void Add(const TestCaseStats& tc);
   // Value merge of per-shard aggregates: Merge(a, b) of disjoint shards

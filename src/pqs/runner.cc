@@ -7,8 +7,14 @@
 
 #include "src/common/rng.h"
 #include "src/interp/eval.h"
+#include "src/sqlexpr/rectify.h"
 
 namespace pqs {
+
+// The runner indexes RunStats::predicate_depth_buckets with
+// sqlexpr::ExprDepthBucket; the two bucket counts must agree.
+static_assert(RunStats::kDepthBuckets == kExprDepthBuckets,
+              "RunStats depth histogram width must match ExprDepthBucket");
 
 namespace {
 
@@ -24,17 +30,6 @@ std::vector<StmtPtr> CloneLog(const DatabasePlan& plan, size_t count,
   }
   if (last != nullptr) out.push_back(last->Clone());
   return out;
-}
-
-// Algorithm-3 wrap: TRUE → φ, FALSE → NOT φ, NULL → φ IS NULL. Applied to
-// the WHERE predicate and, join-aware, to every generated ON condition so
-// the multi-table pivot combination survives each join step un-padded.
-ExprPtr RectifyToTrue(ExprPtr predicate, Bool3 raw) {
-  if (raw == Bool3::kTrue) return predicate;
-  if (raw == Bool3::kFalse) {
-    return MakeUnary(UnaryOp::kNot, std::move(predicate));
-  }
-  return MakeIsNull(std::move(predicate), /*negated=*/false);
 }
 
 // Worst-case 1-based position of the pivot in `query`'s result under
@@ -278,6 +273,14 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       ++out.stats.queries_skipped;
       continue;
     }
+    // Typed-expression stats: generated-predicate depth histogram and
+    // function-call tallies (surfaced through bench_figure3).
+    int depth = predicate->Depth();
+    ++out.stats.predicate_depth_buckets[ExprDepthBucket(depth)];
+    size_t calls = predicate->CountKind(ExprKind::kFunctionCall);
+    out.stats.function_calls_generated += calls;
+    if (calls > 0) ++out.stats.predicates_with_function;
+
     // The raw outcome is tallied in both modes (the ablation bench
     // prints it either way); rectification additionally wraps the
     // predicate so it is TRUE on the pivot.
@@ -406,6 +409,11 @@ void RunStats::Merge(const RunStats& other) {
   constraint_violations += other.constraint_violations;
   join_conditions_rectified += other.join_conditions_rectified;
   limited_queries += other.limited_queries;
+  for (int i = 0; i < kDepthBuckets; ++i) {
+    predicate_depth_buckets[i] += other.predicate_depth_buckets[i];
+  }
+  predicates_with_function += other.predicates_with_function;
+  function_calls_generated += other.function_calls_generated;
 }
 
 ShardPlan ShardPlan::Build(uint64_t seed, int databases) {
@@ -427,6 +435,10 @@ PqsRunner::PqsRunner(WorkerEngineFactory factory, RunnerOptions options)
 
 RunReport PqsRunner::Run() {
   RunReport report;
+  // Fail loudly on out-of-range generator options (a negative depth or a
+  // probability outside [0,1] would otherwise skew generation silently).
+  report.invalid_options = options_.gen.Validate();
+  if (!report.invalid_options.empty()) return report;
   ShardPlan plan = ShardPlan::Build(options_.seed, options_.databases);
   size_t task_count = plan.tasks.size();
   int workers = options_.workers;

@@ -48,6 +48,14 @@ struct RunStats {
   // the pivot, and queries issued with a pivot-safe LIMIT attached.
   uint64_t join_conditions_rectified = 0;
   uint64_t limited_queries = 0;
+  // Typed-expression tallies over the generated WHERE predicates:
+  // Expr::Depth() histogram (buckets 1-2, 3-4, 5-6, 7-8, ≥9 — see
+  // sqlexpr::ExprDepthBucket) plus how many predicates carried at least
+  // one registry function call and how many calls were generated in total.
+  static constexpr int kDepthBuckets = 5;
+  uint64_t predicate_depth_buckets[kDepthBuckets] = {0, 0, 0, 0, 0};
+  uint64_t predicates_with_function = 0;
+  uint64_t function_calls_generated = 0;
 
   // Value merge: adds `other`'s tallies into this one. Merging the
   // per-shard stats of a run in any order equals the single-run totals.
@@ -60,6 +68,9 @@ struct RunReport {
   // True when the engine answered kUnsupported (e.g. stub SQLite adapter);
   // the run ends early and reports whatever it had.
   bool unsupported_engine = false;
+  // Non-empty when GeneratorOptions::Validate() rejected the options; the
+  // run performed no work.
+  std::string invalid_options;
 };
 
 // Deterministic layout of one run: which per-database seed each database

@@ -13,6 +13,10 @@ ExprPtr Expr::Clone() const {
   out->uop = uop;
   out->bop = bop;
   out->negated = negated;
+  out->func = func;
+  out->cast_to = cast_to;
+  out->collation = collation;
+  out->case_has_else = case_has_else;
   out->args.reserve(args.size());
   for (const ExprPtr& a : args) {
     out->args.push_back(a ? a->Clone() : nullptr);
@@ -50,6 +54,22 @@ size_t Expr::CountBinaryOp(BinaryOp op) const {
     if (a) count += a->CountBinaryOp(op);
   }
   return count;
+}
+
+size_t Expr::CountKind(ExprKind k) const {
+  size_t count = kind == k ? 1 : 0;
+  for (const ExprPtr& a : args) {
+    if (a) count += a->CountKind(k);
+  }
+  return count;
+}
+
+bool Expr::ContainsFunction(FuncId id) const {
+  if (kind == ExprKind::kFunctionCall && func == id) return true;
+  for (const ExprPtr& a : args) {
+    if (a && a->ContainsFunction(id)) return true;
+  }
+  return false;
 }
 
 bool Expr::ContainsIsNull(bool negated_form) const {
@@ -144,6 +164,52 @@ ExprPtr MakeLike(ExprPtr value, ExprPtr pattern, bool negated) {
   e->negated = negated;
   e->args.push_back(std::move(value));
   e->args.push_back(std::move(pattern));
+  return e;
+}
+
+ExprPtr MakeLikeEscape(ExprPtr value, ExprPtr pattern, ExprPtr escape,
+                       bool negated) {
+  ExprPtr e = MakeLike(std::move(value), std::move(pattern), negated);
+  e->args.push_back(std::move(escape));
+  return e;
+}
+
+ExprPtr MakeFunctionCall(FuncId func, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->func = func;
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeCast(ExprPtr operand, Affinity to) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCast;
+  e->cast_to = to;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeCase(std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
+                 ExprPtr else_value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  for (auto& [when, then] : when_then) {
+    e->args.push_back(std::move(when));
+    e->args.push_back(std::move(then));
+  }
+  if (else_value != nullptr) {
+    e->case_has_else = true;
+    e->args.push_back(std::move(else_value));
+  }
+  return e;
+}
+
+ExprPtr MakeCollate(ExprPtr operand, Collation collation) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCollate;
+  e->collation = collation;
+  e->args.push_back(std::move(operand));
   return e;
 }
 

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sqlvalue/value.h"
@@ -24,13 +25,38 @@ namespace pqs {
 enum class ExprKind {
   kLiteral,
   kColumnRef,
-  kUnary,    // NOT e, -e
-  kBinary,   // comparison / logical / arithmetic / concat
-  kIsNull,   // e IS [NOT] NULL
-  kInList,   // e [NOT] IN (v, ...)
-  kBetween,  // e [NOT] BETWEEN lo AND hi
-  kLike,     // e [NOT] LIKE pattern
+  kUnary,         // NOT e, -e
+  kBinary,        // comparison / logical / arithmetic / concat
+  kIsNull,        // e IS [NOT] NULL
+  kInList,        // e [NOT] IN (v, ...)
+  kBetween,       // e [NOT] BETWEEN lo AND hi
+  kLike,          // e [NOT] LIKE pattern [ESCAPE esc]
+  kFunctionCall,  // F(a, b, ...) — F from the sqlexpr function registry
+  kCast,          // CAST(e AS type)
+  kCase,          // CASE WHEN w THEN t [WHEN ...] [ELSE e] END
+  kCollate,       // e COLLATE BINARY|NOCASE
 };
+
+// Scalar functions the typed expression subsystem models. The vocabulary
+// lives here because Expr nodes carry a FuncId; everything *about* a
+// function (per-dialect name and availability, arity, NULL-propagation
+// rule, argument typing) lives in the src/sqlexpr registry.
+enum class FuncId : uint8_t {
+  kAbs = 0,
+  kLength,
+  kUpper,
+  kLower,
+  kCoalesce,
+  kNullif,
+  kLeast,     // scalar MIN(a, b, ...) in SQLite spelling
+  kGreatest,  // scalar MAX(a, b, ...) in SQLite spelling
+  kIfnull,    // SQLite/MySQL only; PostgreSQL has no IFNULL
+  kNumFuncs,
+};
+
+// Explicit text collation of a COLLATE operator. kBinary is byte-wise,
+// kNocase folds ASCII case (the SQLite built-in pair this repo models).
+enum class Collation : uint8_t { kBinary, kNocase };
 
 enum class UnaryOp { kNot, kNeg };
 
@@ -63,10 +89,17 @@ struct Expr {
   BinaryOp bop = BinaryOp::kEq;      // kBinary
   bool negated = false;              // IS NOT NULL / NOT IN / NOT BETWEEN /
                                      // NOT LIKE
+  FuncId func = FuncId::kAbs;        // kFunctionCall
+  Affinity cast_to = Affinity::kText;        // kCast target type
+  Collation collation = Collation::kBinary;  // kCollate
+  bool case_has_else = false;        // kCase: last arg is the ELSE value
   std::vector<ExprPtr> args;         // operands; kInList: args[0] is the
                                      // probe, args[1..] the list; kBetween:
                                      // {value, lo, hi}; kLike: {value,
-                                     // pattern}
+                                     // pattern[, escape]}; kFunctionCall:
+                                     // call arguments; kCase: WHEN/THEN
+                                     // pairs, then the ELSE value when
+                                     // case_has_else
 
   ExprPtr Clone() const;
   // Height of the expression tree (a literal is 1).
@@ -75,10 +108,20 @@ struct Expr {
   bool ContainsBinaryOp(BinaryOp op) const;
   // Count of nodes matching a predicate-free structural query.
   size_t CountBinaryOp(BinaryOp op) const;
+  size_t CountKind(ExprKind k) const;
+  bool ContainsFunction(FuncId id) const;
   // True if some kIsNull node with the given negation exists.
   bool ContainsIsNull(bool negated_form) const;
   // True if some kBinary comparison has column refs on both sides.
   bool ContainsColumnColumnCompare() const;
+
+  // kCase accessors over the flattened args layout.
+  size_t CaseArmCount() const {
+    return (args.size() - (case_has_else ? 1 : 0)) / 2;
+  }
+  const Expr* CaseElse() const {
+    return case_has_else ? args.back().get() : nullptr;
+  }
 };
 
 ExprPtr MakeIntLiteral(int64_t v);
@@ -93,6 +136,16 @@ ExprPtr MakeIsNull(ExprPtr operand, bool negated);
 ExprPtr MakeInList(ExprPtr probe, std::vector<ExprPtr> list, bool negated);
 ExprPtr MakeBetween(ExprPtr value, ExprPtr lo, ExprPtr hi, bool negated);
 ExprPtr MakeLike(ExprPtr value, ExprPtr pattern, bool negated);
+// LIKE with an explicit ESCAPE character (a one-character text literal).
+ExprPtr MakeLikeEscape(ExprPtr value, ExprPtr pattern, ExprPtr escape,
+                       bool negated);
+ExprPtr MakeFunctionCall(FuncId func, std::vector<ExprPtr> args);
+ExprPtr MakeCast(ExprPtr operand, Affinity to);
+// Searched CASE: when_then holds WHEN/THEN pairs in order; else_value may
+// be null (no ELSE arm ⇒ NULL when nothing matches).
+ExprPtr MakeCase(std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
+                 ExprPtr else_value);
+ExprPtr MakeCollate(ExprPtr operand, Collation collation);
 
 bool IsComparisonOp(BinaryOp op);
 bool IsArithmeticOp(BinaryOp op);

@@ -1,0 +1,60 @@
+#include "src/sqlexpr/rectify.h"
+
+#include <utility>
+
+namespace pqs {
+
+namespace {
+
+// True when the node kind carries its own NOT flag whose flip is an exact
+// three-valued negation of the node (NULL stays NULL in every case).
+bool IsNegatable(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIsNull:
+    case ExprKind::kInList:
+    case ExprKind::kBetween:
+    case ExprKind::kLike:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExprPtr RectifyToTrue(ExprPtr predicate, Bool3 raw) {
+  if (raw == Bool3::kTrue) return predicate;
+  if (raw == Bool3::kFalse) {
+    // NOT (NOT φ) → φ and flipping a negatable node's own flag are both
+    // exact involutions under three-valued logic.
+    if (predicate->kind == ExprKind::kUnary &&
+        predicate->uop == UnaryOp::kNot) {
+      return std::move(predicate->args[0]);
+    }
+    if (IsNegatable(*predicate)) {
+      predicate->negated = !predicate->negated;
+      return predicate;
+    }
+    return MakeUnary(UnaryOp::kNot, std::move(predicate));
+  }
+  return MakeIsNull(std::move(predicate), /*negated=*/false);
+}
+
+bool RectifyOnPivot(ExprPtr* predicate, const RowView& pivot,
+                    const EvalContext& ctx, Bool3* raw_out) {
+  bool error = false;
+  Bool3 raw = EvaluatePredicate(**predicate, pivot, ctx, &error);
+  if (error) return false;
+  if (raw_out != nullptr) *raw_out = raw;
+  *predicate = RectifyToTrue(std::move(*predicate), raw);
+  return true;
+}
+
+int ExprDepthBucket(int depth) {
+  int bucket = (depth - 1) / 2;
+  if (bucket < 0) bucket = 0;
+  if (bucket >= kExprDepthBuckets) bucket = kExprDepthBuckets - 1;
+  return bucket;
+}
+
+}  // namespace pqs

@@ -1,0 +1,44 @@
+// Algorithm-3 rectification over the full typed expression grammar.
+//
+// Rectification wraps an arbitrary boolean expression φ so it evaluates
+// TRUE on the pivot row: TRUE → φ, FALSE → ¬φ, NULL → φ IS NULL. The
+// wrapper is sound for *any* expression the evaluator can run — function
+// results, CASE arms, CAST and COLLATE operands included — because it only
+// depends on φ's three-valued outcome, never on φ's shape. The function
+// registry backs the soundness argument: every registered function is
+// total over the arguments the generator emits (the registry's ArgClass
+// typing is what the generator enforces per dialect), so the raw
+// evaluation on the pivot cannot fail where the engine's would succeed.
+//
+// The FALSE branch is structure-aware rather than a blind NOT wrap: the
+// negatable node kinds (IS NULL, IN, BETWEEN, LIKE) flip their own negated
+// flag, and NOT φ unwraps to φ — both exact three-valued involutions —
+// which keeps rectified SQL (and therefore reduced test cases) small.
+#ifndef PQS_SRC_SQLEXPR_RECTIFY_H_
+#define PQS_SRC_SQLEXPR_RECTIFY_H_
+
+#include "src/interp/eval.h"
+#include "src/sqlast/ast.h"
+#include "src/sqlvalue/value.h"
+
+namespace pqs {
+
+// Wraps `predicate` per Algorithm 3 given its raw outcome on the pivot.
+ExprPtr RectifyToTrue(ExprPtr predicate, Bool3 raw);
+
+// Evaluates `*predicate` on the pivot row under `ctx` (the runner passes
+// reference semantics) and replaces it with its rectified form. Returns
+// false on an evaluation error — the generator statically prevents this,
+// so callers treat it as a defensive skip. `*raw_out` (optional) receives
+// the raw three-valued outcome for the Algorithm-3 branch tallies.
+bool RectifyOnPivot(ExprPtr* predicate, const RowView& pivot,
+                    const EvalContext& ctx, Bool3* raw_out);
+
+// Histogram bucket of an expression depth for RunStats: buckets are depths
+// 1-2, 3-4, 5-6, 7-8, and ≥9.
+constexpr int kExprDepthBuckets = 5;
+int ExprDepthBucket(int depth);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_SQLEXPR_RECTIFY_H_

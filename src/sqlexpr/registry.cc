@@ -1,0 +1,81 @@
+#include "src/sqlexpr/registry.h"
+
+namespace pqs {
+
+namespace {
+
+constexpr uint8_t kAllDialects = 0x7;
+constexpr uint8_t kSqliteMysql =
+    (1u << static_cast<unsigned>(Dialect::kSqliteFlex)) |
+    (1u << static_cast<unsigned>(Dialect::kMysqlLike));
+
+const std::vector<FunctionSig>& BuildRegistry() {
+  // Order must match FuncId so LookupFunction can index directly.
+  static const std::vector<FunctionSig> registry = {
+      {FuncId::kAbs, {"ABS", "ABS", "ABS"}, 1, 1, NullRule::kPropagate,
+       ArgClass::kNumeric, kAllDialects},
+      {FuncId::kLength, {"LENGTH", "LENGTH", "LENGTH"}, 1, 1,
+       NullRule::kPropagate, ArgClass::kText, kAllDialects},
+      {FuncId::kUpper, {"UPPER", "UPPER", "UPPER"}, 1, 1,
+       NullRule::kPropagate, ArgClass::kText, kAllDialects},
+      {FuncId::kLower, {"LOWER", "LOWER", "LOWER"}, 1, 1,
+       NullRule::kPropagate, ArgClass::kText, kAllDialects},
+      {FuncId::kCoalesce, {"COALESCE", "COALESCE", "COALESCE"}, 2, 4,
+       NullRule::kCustom, ArgClass::kUniform, kAllDialects},
+      {FuncId::kNullif, {"NULLIF", "NULLIF", "NULLIF"}, 2, 2,
+       NullRule::kCustom, ArgClass::kUniform, kAllDialects},
+      // SQLite's multi-argument scalar MIN/MAX are LEAST/GREATEST
+      // elsewhere; one FuncId, three spellings.
+      {FuncId::kLeast, {"MIN", "LEAST", "LEAST"}, 2, 3,
+       NullRule::kPropagate, ArgClass::kUniform, kAllDialects},
+      {FuncId::kGreatest, {"MAX", "GREATEST", "GREATEST"}, 2, 3,
+       NullRule::kPropagate, ArgClass::kUniform, kAllDialects},
+      // Genuine availability gap: PostgreSQL has no IFNULL (COALESCE only).
+      {FuncId::kIfnull, {"IFNULL", "IFNULL", nullptr}, 2, 2,
+       NullRule::kCustom, ArgClass::kUniform, kSqliteMysql},
+  };
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<FunctionSig>& FunctionRegistry() { return BuildRegistry(); }
+
+const FunctionSig& LookupFunction(FuncId id) {
+  return FunctionRegistry()[static_cast<size_t>(id)];
+}
+
+std::vector<const FunctionSig*> FunctionsForDialect(Dialect d) {
+  std::vector<const FunctionSig*> out;
+  for (const FunctionSig& sig : FunctionRegistry()) {
+    if (sig.available(d)) out.push_back(&sig);
+  }
+  return out;
+}
+
+const char* CastTypeName(Affinity affinity, Dialect d) {
+  switch (affinity) {
+    case Affinity::kInteger:
+      return d == Dialect::kMysqlLike ? "SIGNED" : "INTEGER";
+    case Affinity::kReal:
+      return d == Dialect::kMysqlLike
+                 ? "DOUBLE"
+                 : (d == Dialect::kPostgresStrict ? "DOUBLE PRECISION"
+                                                  : "REAL");
+    case Affinity::kText:
+      return d == Dialect::kMysqlLike ? "CHAR" : "TEXT";
+  }
+  return "TEXT";
+}
+
+const char* CollationName(Collation collation) {
+  switch (collation) {
+    case Collation::kBinary:
+      return "BINARY";
+    case Collation::kNocase:
+      return "NOCASE";
+  }
+  return "BINARY";
+}
+
+}  // namespace pqs

@@ -1,0 +1,76 @@
+// Dialect-aware scalar-function registry of the typed expression subsystem.
+//
+// One FunctionSig per FuncId records everything the rest of the stack needs
+// to stay agreement-exact across layers: the per-dialect rendering name
+// (SQLite spells scalar MIN/MAX as MIN/MAX, MySQL and PostgreSQL as
+// LEAST/GREATEST), per-dialect availability (PostgreSQL has no IFNULL),
+// arity bounds, the NULL-propagation rule the shared evaluator applies
+// before dispatch, and the argument typing class the generator must honor
+// so kPostgresStrict expressions stay statically type-correct (which is
+// what keeps the error oracle sound over function calls).
+//
+// The registry is the single source of truth consulted by the generator
+// (what to emit per dialect), the renderer (how to spell it), the
+// evaluator (how NULLs propagate), and the rectifier's soundness argument
+// (every registered function is total over the arguments the generator
+// feeds it, so a rectified wrapper around any function result is always
+// evaluable on the pivot).
+#ifndef PQS_SRC_SQLEXPR_REGISTRY_H_
+#define PQS_SRC_SQLEXPR_REGISTRY_H_
+
+#include <vector>
+
+#include "src/engine/connection.h"
+#include "src/sqlast/ast.h"
+
+namespace pqs {
+
+// How a function treats NULL arguments. kPropagate: any NULL argument makes
+// the result NULL before the function body runs (ABS, LENGTH, UPPER, LOWER,
+// LEAST, GREATEST — the SQL-standard rule). kCustom: the function defines
+// its own NULL behavior (COALESCE, NULLIF, IFNULL exist *because* of it).
+enum class NullRule : uint8_t { kPropagate, kCustom };
+
+// Static argument typing class the generator enforces. kNumeric/kText pin
+// every argument to that affinity class; kUniform requires all arguments to
+// share one affinity class (numeric vs text), whichever the call site picks.
+enum class ArgClass : uint8_t { kNumeric, kText, kUniform };
+
+struct FunctionSig {
+  FuncId id = FuncId::kAbs;
+  // Rendering name per dialect, indexed by static_cast<int>(Dialect).
+  const char* names[3] = {nullptr, nullptr, nullptr};
+  int min_args = 1;
+  int max_args = 1;
+  NullRule null_rule = NullRule::kPropagate;
+  ArgClass arg_class = ArgClass::kNumeric;
+  // Bit per dialect (1u << static_cast<int>(Dialect)).
+  uint8_t dialect_mask = 0x7;
+
+  bool available(Dialect d) const {
+    return (dialect_mask & (1u << static_cast<unsigned>(d))) != 0;
+  }
+  const char* NameFor(Dialect d) const {
+    return names[static_cast<int>(d)];
+  }
+};
+
+// All registered functions, in FuncId order.
+const std::vector<FunctionSig>& FunctionRegistry();
+
+// Signature for one function (total: FuncId is a closed enum).
+const FunctionSig& LookupFunction(FuncId id);
+
+// Registered functions available in the given dialect, in FuncId order.
+std::vector<const FunctionSig*> FunctionsForDialect(Dialect d);
+
+// Spelling of a CAST target type per dialect (e.g. Affinity::kInteger →
+// INTEGER / SIGNED / INTEGER).
+const char* CastTypeName(Affinity affinity, Dialect d);
+
+// COLLATE operand spelling (BINARY / NOCASE).
+const char* CollationName(Collation collation);
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_SQLEXPR_REGISTRY_H_

@@ -1,5 +1,7 @@
 #include "src/sqlite3db/sqlite_connection.h"
 
+#include <utility>
+
 #include "src/sqlparser/render.h"
 
 #ifndef PQS_HAVE_SQLITE3
@@ -25,7 +27,20 @@ SqliteConnection::SqliteConnection() {
 }
 
 SqliteConnection::~SqliteConnection() {
+  ClearStatementCache();
   if (db_ != nullptr) sqlite3_close(db_);
+}
+
+void SqliteConnection::ClearStatementCache() {
+  for (CachedStmt& entry : cache_) {
+    if (entry.stmt != nullptr) sqlite3_finalize(entry.stmt);
+  }
+  cache_.clear();
+}
+
+void SqliteConnection::set_statement_cache(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) ClearStatementCache();
 }
 
 std::string SqliteConnection::EngineName() const {
@@ -44,15 +59,63 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
                                     "sqlite connection unavailable");
   }
   std::string sql = RenderStmt(stmt, Dialect::kSqliteFlex);
-  sqlite3_stmt* prepared = nullptr;
-  int rc = sqlite3_prepare_v2(db_, sql.c_str(), -1, &prepared, nullptr);
-  if (rc != SQLITE_OK) {
-    StatementStatus status = rc == SQLITE_CONSTRAINT
-                                 ? StatementStatus::kConstraintViolation
-                                 : StatementStatus::kError;
-    return StatementResult::Failure(status, sqlite3_errmsg(db_));
+
+  // DDL can change a cached SELECT's result shape; drop the cache rather
+  // than reason about which entries a schema change invalidates.
+  if (stmt.kind() == StmtKind::kCreateTable ||
+      stmt.kind() == StmtKind::kCreateIndex) {
+    ClearStatementCache();
   }
+
+  // Prepare-once / reset-and-rerun for repeated SELECT text (the pivot
+  // probe pattern). The cache is MRU-ordered; hits move to the front.
+  bool cacheable = cache_enabled_ && stmt.kind() == StmtKind::kSelect;
+  sqlite3_stmt* prepared = nullptr;
+  bool in_cache = false;
+  if (cacheable) {
+    for (size_t i = 0; i < cache_.size(); ++i) {
+      if (cache_[i].sql != sql) continue;
+      prepared = cache_[i].stmt;
+      sqlite3_reset(prepared);
+      if (i != 0) {
+        CachedStmt hit = std::move(cache_[i]);
+        cache_.erase(cache_.begin() + static_cast<long>(i));
+        cache_.insert(cache_.begin(), std::move(hit));
+      }
+      in_cache = true;
+      ++cache_hits_;
+      break;
+    }
+  }
+  if (prepared == nullptr) {
+    int prc = sqlite3_prepare_v2(db_, sql.c_str(), -1, &prepared, nullptr);
+    if (prc != SQLITE_OK) {
+      StatementStatus status = prc == SQLITE_CONSTRAINT
+                                   ? StatementStatus::kConstraintViolation
+                                   : StatementStatus::kError;
+      return StatementResult::Failure(status, sqlite3_errmsg(db_));
+    }
+    if (cacheable) {
+      ++cache_misses_;
+      cache_.insert(cache_.begin(), CachedStmt{sql, prepared});
+      constexpr size_t kMaxCachedStatements = 16;
+      while (cache_.size() > kMaxCachedStatements) {
+        sqlite3_finalize(cache_.back().stmt);
+        cache_.pop_back();
+      }
+      in_cache = true;
+    }
+  }
+  // A cached statement is reset (kept prepared) instead of finalized.
+  auto release = [&]() {
+    if (in_cache) {
+      sqlite3_reset(prepared);
+    } else {
+      sqlite3_finalize(prepared);
+    }
+  };
   StatementResult result;
+  int rc;
   int columns = sqlite3_column_count(prepared);
   for (int c = 0; c < columns; ++c) {
     const char* name = sqlite3_column_name(prepared, c);
@@ -84,13 +147,14 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
   }
   if (rc != SQLITE_DONE) {
     int base = rc & 0xff;
-    sqlite3_finalize(prepared);
+    std::string message = sqlite3_errmsg(db_);
+    release();
     StatementStatus status = base == SQLITE_CONSTRAINT
                                  ? StatementStatus::kConstraintViolation
                                  : StatementStatus::kError;
-    return StatementResult::Failure(status, sqlite3_errmsg(db_));
+    return StatementResult::Failure(status, message);
   }
-  sqlite3_finalize(prepared);
+  release();
   return result;
 }
 
@@ -98,6 +162,11 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
 
 SqliteConnection::SqliteConnection() { alive_ = true; }
 SqliteConnection::~SqliteConnection() = default;
+
+void SqliteConnection::ClearStatementCache() {}
+void SqliteConnection::set_statement_cache(bool enabled) {
+  cache_enabled_ = enabled;
+}
 
 std::string SqliteConnection::EngineName() const { return "sqlite-stub"; }
 

@@ -1,5 +1,7 @@
 #include "src/sqlparser/render.h"
 
+#include "src/sqlexpr/registry.h"
+
 namespace pqs {
 
 namespace {
@@ -89,10 +91,46 @@ std::string RenderExpr(const Expr& expr, Dialect dialect) {
              (expr.negated ? " NOT BETWEEN " : " BETWEEN ") +
              RenderExpr(*expr.args[1], dialect) + " AND " +
              RenderExpr(*expr.args[2], dialect) + ")";
-    case ExprKind::kLike:
-      return "(" + RenderExpr(*expr.args[0], dialect) +
-             (expr.negated ? " NOT LIKE " : " LIKE ") +
-             RenderExpr(*expr.args[1], dialect) + ")";
+    case ExprKind::kLike: {
+      std::string out = "(" + RenderExpr(*expr.args[0], dialect) +
+                        (expr.negated ? " NOT LIKE " : " LIKE ") +
+                        RenderExpr(*expr.args[1], dialect);
+      if (expr.args.size() > 2 && expr.args[2] != nullptr) {
+        out += " ESCAPE " + RenderExpr(*expr.args[2], dialect);
+      }
+      return out + ")";
+    }
+    case ExprKind::kFunctionCall: {
+      const FunctionSig& sig = LookupFunction(expr.func);
+      const char* name = sig.NameFor(dialect);
+      // Defensive spelling for a dialect the registry says lacks the
+      // function: the SQLite name keeps the output parseable-looking.
+      std::string out = std::string(name != nullptr ? name : sig.names[0]);
+      out += "(";
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += RenderExpr(*expr.args[i], dialect);
+      }
+      return out + ")";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + RenderExpr(*expr.args[0], dialect) + " AS " +
+             CastTypeName(expr.cast_to, dialect) + ")";
+    case ExprKind::kCase: {
+      std::string out = "(CASE";
+      size_t arms = expr.CaseArmCount();
+      for (size_t i = 0; i < arms; ++i) {
+        out += " WHEN " + RenderExpr(*expr.args[2 * i], dialect);
+        out += " THEN " + RenderExpr(*expr.args[2 * i + 1], dialect);
+      }
+      if (expr.case_has_else) {
+        out += " ELSE " + RenderExpr(*expr.CaseElse(), dialect);
+      }
+      return out + " END)";
+    }
+    case ExprKind::kCollate:
+      return "(" + RenderExpr(*expr.args[0], dialect) + " COLLATE " +
+             CollationName(expr.collation) + ")";
   }
   return "?";
 }

@@ -25,12 +25,18 @@ RunReport BuggyRun(uint64_t seed, int workers = 1,
   options.workers = workers;
   options.stop_on_first_finding = stop_on_first_finding;
   // Crank the widened query-space features so the byte-identity guarantee
-  // demonstrably covers joins, DISTINCT, ORDER BY, and LIMIT.
+  // demonstrably covers joins, DISTINCT, ORDER BY, LIMIT — and the typed
+  // expression subsystem (functions, CAST, CASE, COLLATE, LIKE ESCAPE).
   options.gen.explicit_join_probability = 0.8;
   options.gen.third_table_probability = 0.6;
   options.gen.distinct_probability = 0.5;
   options.gen.order_by_probability = 0.6;
   options.gen.limit_probability = 0.6;
+  options.gen.function_probability = 0.5;
+  options.gen.cast_probability = 0.3;
+  options.gen.case_probability = 0.25;
+  options.gen.collate_probability = 0.5;
+  options.gen.like_escape_probability = 0.5;
   EngineFactory factory = [bug]() -> ConnectionPtr {
     return std::make_unique<minidb::Database>(Dialect::kSqliteFlex,
                                               BugConfig::Single(bug));
@@ -48,6 +54,14 @@ void TestSameSeedSameReport() {
   CHECK_EQ(a.stats.rectified_false, b.stats.rectified_false);
   CHECK_EQ(a.stats.rectified_null, b.stats.rectified_null);
   CHECK_EQ(a.stats.constraint_violations, b.stats.constraint_violations);
+  for (int i = 0; i < RunStats::kDepthBuckets; ++i) {
+    CHECK_EQ(a.stats.predicate_depth_buckets[i],
+             b.stats.predicate_depth_buckets[i]);
+  }
+  CHECK_EQ(a.stats.predicates_with_function,
+           b.stats.predicates_with_function);
+  CHECK_EQ(a.stats.function_calls_generated,
+           b.stats.function_calls_generated);
   CHECK_EQ(a.findings.size(), b.findings.size());
   for (size_t i = 0; i < a.findings.size() && i < b.findings.size(); ++i) {
     CHECK_EQ(RenderScript(a.findings[i].statements, Dialect::kSqliteFlex),
@@ -61,10 +75,11 @@ void TestSameSeedSameReport() {
 // without stop_on_first_finding (where the merge truncates at the first
 // finding-bearing database, just as the sequential loop returns there).
 void TestShardedRunnerMatchesSequential() {
-  // Both a scan-path bug and a join-path bug: the sharding guarantee must
-  // hold for campaigns exercising the widened query space too.
+  // A scan-path bug, a join-path bug, and an expression-subsystem bug: the
+  // sharding guarantee must hold for campaigns exercising the widened
+  // query space and the typed expression grammar alike.
   for (BugId bug : {BugId::kPartialIndexIsNotInference,
-                    BugId::kJoinDupRightMatch}) {
+                    BugId::kJoinDupRightMatch, BugId::kLikeEscapeMiss}) {
     for (bool stop_on_first : {false, true}) {
       RunReport sequential = BuggyRun(123, /*workers=*/1, stop_on_first, bug);
       for (int workers : {2, 4}) {
@@ -89,6 +104,14 @@ void TestShardedRunnerMatchesSequential() {
                  sequential.stats.join_conditions_rectified);
         CHECK_EQ(sharded.stats.limited_queries,
                  sequential.stats.limited_queries);
+        for (int i = 0; i < RunStats::kDepthBuckets; ++i) {
+          CHECK_EQ(sharded.stats.predicate_depth_buckets[i],
+                   sequential.stats.predicate_depth_buckets[i]);
+        }
+        CHECK_EQ(sharded.stats.predicates_with_function,
+                 sequential.stats.predicates_with_function);
+        CHECK_EQ(sharded.stats.function_calls_generated,
+                 sequential.stats.function_calls_generated);
         CHECK_EQ(sharded.findings.size(), sequential.findings.size());
         for (size_t i = 0;
              i < sharded.findings.size() && i < sequential.findings.size();

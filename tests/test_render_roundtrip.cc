@@ -354,6 +354,197 @@ std::vector<StmtPtr> BuildCorpus() {
   q20->limit = 7;
   corpus.push_back(std::move(q20));
 
+  // --- Typed expression subsystem (PR 4): registry functions, CAST, CASE,
+  // --- COLLATE, LIKE ESCAPE, NULL-bearing IN lists. -----------------------
+
+  auto fn = [](FuncId f, std::vector<ExprPtr> args) {
+    return MakeFunctionCall(f, std::move(args));
+  };
+  auto args1 = [](ExprPtr a) {
+    std::vector<ExprPtr> v;
+    v.push_back(std::move(a));
+    return v;
+  };
+  auto args2 = [](ExprPtr a, ExprPtr b) {
+    std::vector<ExprPtr> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+  };
+
+  // Q21: ABS over an integer column AND LENGTH over text.
+  auto q21 = std::make_unique<SelectStmt>();
+  q21->from_tables = {"t0"};
+  q21->where = MakeBinary(
+      BinaryOp::kAnd,
+      MakeBinary(BinaryOp::kGt,
+                 fn(FuncId::kAbs, args1(MakeColumnRef("t0", "c0"))),
+                 MakeIntLiteral(1)),
+      MakeBinary(BinaryOp::kEq,
+                 fn(FuncId::kLength, args1(MakeColumnRef("t0", "c1"))),
+                 MakeIntLiteral(2)));
+  corpus.push_back(std::move(q21));
+
+  // Q22: UPPER / LOWER case folding.
+  auto q22 = std::make_unique<SelectStmt>();
+  q22->from_tables = {"t2"};
+  q22->where = MakeBinary(
+      BinaryOp::kOr,
+      MakeBinary(BinaryOp::kEq,
+                 fn(FuncId::kUpper, args1(MakeColumnRef("t2", "c4"))),
+                 MakeTextLiteral("AB")),
+      MakeBinary(BinaryOp::kNe,
+                 fn(FuncId::kLower, args1(MakeColumnRef("t2", "c4"))),
+                 MakeTextLiteral("ba")));
+  corpus.push_back(std::move(q22));
+
+  // Q23: COALESCE across a nullable column, ordered.
+  auto q23 = std::make_unique<SelectStmt>();
+  q23->from_tables = {"t1"};
+  q23->where = MakeBinary(
+      BinaryOp::kGe,
+      fn(FuncId::kCoalesce, args2(MakeColumnRef("t1", "c2"),
+                                  MakeIntLiteral(0))),
+      MakeIntLiteral(1));
+  q23->order_by.push_back(Key(MakeColumnRef("t1", "c2"), false));
+  corpus.push_back(std::move(q23));
+
+  // Q24: scalar MIN/MAX — the per-dialect naming showcase (SQLite MIN/MAX,
+  // MySQL/PostgreSQL LEAST/GREATEST).
+  auto q24 = std::make_unique<SelectStmt>();
+  q24->from_tables = {"t1"};
+  q24->where = MakeBinary(
+      BinaryOp::kAnd,
+      MakeBinary(BinaryOp::kLe,
+                 fn(FuncId::kGreatest, args2(MakeColumnRef("t1", "c2"),
+                                             MakeIntLiteral(3))),
+                 MakeIntLiteral(5)),
+      MakeBinary(BinaryOp::kGt,
+                 fn(FuncId::kLeast, args2(MakeColumnRef("t1", "c3"),
+                                          MakeRealLiteral(2.0))),
+                 MakeRealLiteral(0.0)));
+  corpus.push_back(std::move(q24));
+
+  // Q25: NULLIF under an IS NULL observer.
+  auto q25 = std::make_unique<SelectStmt>();
+  q25->from_tables = {"t1"};
+  q25->where = MakeIsNull(
+      fn(FuncId::kNullif, args2(MakeColumnRef("t1", "c2"),
+                                MakeIntLiteral(1))),
+      /*negated=*/false);
+  corpus.push_back(std::move(q25));
+
+  // Q26: CAST REAL → INTEGER compared against its own operand (the
+  // truncation-sensitive metamorphic shape).
+  auto q26 = std::make_unique<SelectStmt>();
+  q26->from_tables = {"t1"};
+  q26->where = MakeBinary(BinaryOp::kLe,
+                          MakeCast(MakeColumnRef("t1", "c3"),
+                                   Affinity::kInteger),
+                          MakeColumnRef("t1", "c3"));
+  corpus.push_back(std::move(q26));
+
+  // Q27: CAST to TEXT and to REAL from an integer source.
+  auto q27 = std::make_unique<SelectStmt>();
+  q27->from_tables = {"t0"};
+  q27->where = MakeBinary(
+      BinaryOp::kAnd,
+      MakeBinary(BinaryOp::kNe,
+                 MakeCast(MakeColumnRef("t0", "c0"), Affinity::kText),
+                 MakeTextLiteral("1")),
+      MakeBinary(BinaryOp::kLt,
+                 MakeCast(MakeColumnRef("t0", "c0"), Affinity::kReal),
+                 MakeRealLiteral(2.5)));
+  corpus.push_back(std::move(q27));
+
+  // Q28: searched CASE with an ELSE arm as the WHERE predicate.
+  auto q28 = std::make_unique<SelectStmt>();
+  q28->from_tables = {"t0"};
+  {
+    std::vector<std::pair<ExprPtr, ExprPtr>> arms;
+    arms.emplace_back(
+        MakeBinary(BinaryOp::kGt, MakeColumnRef("t0", "c0"),
+                   MakeIntLiteral(1)),
+        MakeLike(MakeColumnRef("t0", "c1"), MakeTextLiteral("a%"),
+                 /*negated=*/false));
+    q28->where = MakeCase(std::move(arms),
+                          MakeBinary(BinaryOp::kEq,
+                                     MakeColumnRef("t0", "c0"),
+                                     MakeIntLiteral(1)));
+  }
+  corpus.push_back(std::move(q28));
+
+  // Q29: ELSE-less CASE rectified the NULL way (φ IS NULL).
+  auto q29 = std::make_unique<SelectStmt>();
+  q29->from_tables = {"t1"};
+  {
+    std::vector<std::pair<ExprPtr, ExprPtr>> arms;
+    arms.emplace_back(
+        MakeBinary(BinaryOp::kGt, MakeColumnRef("t1", "c2"),
+                   MakeIntLiteral(5)),
+        MakeBinary(BinaryOp::kLt, MakeColumnRef("t1", "c2"),
+                   MakeIntLiteral(9)));
+    q29->where = MakeIsNull(MakeCase(std::move(arms), nullptr),
+                            /*negated=*/false);
+  }
+  corpus.push_back(std::move(q29));
+
+  // Q30: explicit collations on text comparisons.
+  auto q30 = std::make_unique<SelectStmt>();
+  q30->from_tables = {"t2"};
+  q30->where = MakeBinary(
+      BinaryOp::kOr,
+      MakeBinary(BinaryOp::kEq,
+                 MakeCollate(MakeColumnRef("t2", "c4"), Collation::kNocase),
+                 MakeTextLiteral("AB")),
+      MakeBinary(BinaryOp::kLt,
+                 MakeCollate(MakeColumnRef("t2", "c4"), Collation::kBinary),
+                 MakeTextLiteral("b")));
+  corpus.push_back(std::move(q30));
+
+  // Q31: LIKE with an ESCAPE clause (escaped wildcard is literal).
+  auto q31 = std::make_unique<SelectStmt>();
+  q31->from_tables = {"t2"};
+  q31->where = MakeLikeEscape(MakeColumnRef("t2", "c4"),
+                              MakeTextLiteral("%a!%%"),
+                              MakeTextLiteral("!"), /*negated=*/false);
+  q31->order_by.push_back(Key(MakeColumnRef("t2", "c4"), false));
+  corpus.push_back(std::move(q31));
+
+  // Q32: IN list carrying a NULL element (UNKNOWN on a miss).
+  auto q32 = std::make_unique<SelectStmt>();
+  q32->from_tables = {"t0"};
+  {
+    std::vector<ExprPtr> in_items;
+    in_items.push_back(MakeIntLiteral(1));
+    in_items.push_back(MakeNullLiteral());
+    in_items.push_back(MakeIntLiteral(3));
+    q32->where = MakeIsNull(
+        MakeInList(MakeColumnRef("t0", "c0"), std::move(in_items),
+                   /*negated=*/true),
+        /*negated=*/false);
+  }
+  corpus.push_back(std::move(q32));
+
+  // Q33: nested calls — LENGTH(UPPER(x)) and COALESCE(NULLIF(x, 'ab'), y).
+  auto q33 = std::make_unique<SelectStmt>();
+  q33->from_tables = {"t0"};
+  q33->joins.push_back(Join(
+      JoinKind::kInner, "t2",
+      MakeBinary(BinaryOp::kEq,
+                 fn(FuncId::kLength,
+                    args1(fn(FuncId::kUpper,
+                             args1(MakeColumnRef("t2", "c4"))))),
+                 MakeIntLiteral(2))));
+  q33->where = MakeBinary(
+      BinaryOp::kNe,
+      fn(FuncId::kCoalesce,
+         args2(fn(FuncId::kNullif, args2(MakeColumnRef("t2", "c4"),
+                                         MakeTextLiteral("ab"))),
+               MakeColumnRef("t0", "c1"))),
+      MakeTextLiteral("zz"));
+  corpus.push_back(std::move(q33));
+
   return corpus;
 }
 

@@ -66,6 +66,10 @@ void TestRunStatsMerge() {
   shard1.constraint_violations = 5;
   shard1.join_conditions_rectified = 6;
   shard1.limited_queries = 2;
+  shard1.predicate_depth_buckets[0] = 2;
+  shard1.predicate_depth_buckets[2] = 1;
+  shard1.predicates_with_function = 3;
+  shard1.function_calls_generated = 5;
   RunStats shard2;
   shard2.statements_executed = 7;
   shard2.queries_checked = 2;
@@ -73,6 +77,10 @@ void TestRunStatsMerge() {
   shard2.rectified_null = 4;
   shard2.join_conditions_rectified = 1;
   shard2.limited_queries = 3;
+  shard2.predicate_depth_buckets[0] = 1;
+  shard2.predicate_depth_buckets[4] = 2;
+  shard2.predicates_with_function = 1;
+  shard2.function_calls_generated = 1;
   total.Merge(shard1);
   total.Merge(shard2);
   CHECK_EQ(total.statements_executed, uint64_t{17});
@@ -85,6 +93,11 @@ void TestRunStatsMerge() {
   CHECK_EQ(total.constraint_violations, uint64_t{5});
   CHECK_EQ(total.join_conditions_rectified, uint64_t{7});
   CHECK_EQ(total.limited_queries, uint64_t{5});
+  CHECK_EQ(total.predicate_depth_buckets[0], uint64_t{3});
+  CHECK_EQ(total.predicate_depth_buckets[2], uint64_t{1});
+  CHECK_EQ(total.predicate_depth_buckets[4], uint64_t{2});
+  CHECK_EQ(total.predicates_with_function, uint64_t{4});
+  CHECK_EQ(total.function_calls_generated, uint64_t{6});
 }
 
 void TestCoverageMapMerge() {
@@ -118,12 +131,18 @@ void TestShardedCoverageMatchesSingleRun() {
     opts.queries_per_database = 12;
     opts.workers = workers;
     // Dense query-space features: the per-feature hit-count identity below
-    // then covers the join / DISTINCT / ORDER BY / LIMIT buckets too.
+    // then covers the join / DISTINCT / ORDER BY / LIMIT buckets and the
+    // typed expression grammar too.
     opts.gen.explicit_join_probability = 0.8;
     opts.gen.third_table_probability = 0.6;
     opts.gen.distinct_probability = 0.5;
     opts.gen.order_by_probability = 0.6;
     opts.gen.limit_probability = 0.6;
+    opts.gen.function_probability = 0.5;
+    opts.gen.cast_probability = 0.3;
+    opts.gen.case_probability = 0.25;
+    opts.gen.collate_probability = 0.5;
+    opts.gen.like_escape_probability = 0.5;
     WorkerEngineFactory factory = [maps](int worker) -> ConnectionPtr {
       auto db = std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
       db->set_coverage_sink(&maps[worker]);
@@ -159,7 +178,9 @@ void TestShardedCoverageMatchesSingleRun() {
   for (minidb::Feature f :
        {minidb::Feature::kJoinInner, minidb::Feature::kJoinLeft,
         minidb::Feature::kSelectDistinct, minidb::Feature::kSelectOrderBy,
-        minidb::Feature::kSelectLimit}) {
+        minidb::Feature::kSelectLimit, minidb::Feature::kExprFunction,
+        minidb::Feature::kExprCast, minidb::Feature::kExprCase,
+        minidb::Feature::kExprCollate, minidb::Feature::kExprLikeEscape}) {
     CHECK_MSG(merged.Hits(f) > 0, "feature %s never exercised",
               minidb::FeatureName(f));
   }
