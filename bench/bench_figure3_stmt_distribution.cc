@@ -50,6 +50,10 @@ void PrintFigure3() {
            "expression buckets", agg.with_function_call, agg.with_cast,
            agg.with_case, agg.with_collate, agg.total_cases,
            agg.max_expr_depth);
+    printf("%-22s update:%zu delete:%zu drop-index:%zu maintenance:%zu "
+           "of %zu cases\n",
+           "mutation buckets", agg.with_update, agg.with_delete,
+           agg.with_drop_index, agg.with_maintenance, agg.total_cases);
 
     if (!first_dialect) json += ",\n";
     first_dialect = false;
@@ -75,6 +79,11 @@ void PrintFigure3() {
     json += ", \"case\": " + std::to_string(agg.with_case);
     json += ", \"collate\": " + std::to_string(agg.with_collate);
     json += ", \"max_expr_depth\": " + std::to_string(agg.max_expr_depth);
+    json += "},\n     \"mutation_buckets\": {";
+    json += "\"update\": " + std::to_string(agg.with_update);
+    json += ", \"delete\": " + std::to_string(agg.with_delete);
+    json += ", \"drop_index\": " + std::to_string(agg.with_drop_index);
+    json += ", \"maintenance\": " + std::to_string(agg.with_maintenance);
     json += "}}";
 
     pooled.Merge(agg);
@@ -82,13 +91,17 @@ void PrintFigure3() {
   json += "\n  ],\n";
 
   // Depth-bucketed stats of the *generated* predicate stream (not just
-  // reduced cases): one clean seeded session per dialect, tallied by the
+  // reduced cases) plus the real statement-stream distribution of the
+  // action scheduler: one clean seeded session per dialect, tallied by the
   // runner into RunStats (buckets are Expr depths 1-2 / 3-4 / 5-6 / 7-8 /
   // ≥9).
-  bench::PrintHeader("Generated-predicate depth histogram (clean session)");
+  bench::PrintHeader(
+      "Generated-predicate depth histogram + statement stream "
+      "(clean session)");
   static const char* kBucketLabels[RunStats::kDepthBuckets] = {
       "1-2", "3-4", "5-6", "7-8", ">=9"};
   json += "  \"predicate_depth_buckets\": [\n";
+  std::string stream_json = "  \"statement_stream\": [\n";
   bool first_depth_dialect = true;
   for (Dialect d : {Dialect::kSqliteFlex, Dialect::kMysqlLike,
                     Dialect::kPostgresStrict}) {
@@ -114,7 +127,22 @@ void PrintFigure3() {
            static_cast<unsigned long long>(
                report.stats.function_calls_generated),
            static_cast<unsigned long long>(report.stats.queries_checked));
-    if (!first_depth_dialect) json += ",\n";
+    const RunStats& s = report.stats;
+    printf("  %-28s stream: insert:%llu update:%llu delete:%llu "
+           "create-index:%llu drop-index:%llu maintenance:%llu "
+           "(pivot checks: %llu, state compares: %llu)\n", "",
+           static_cast<unsigned long long>(s.actions_insert),
+           static_cast<unsigned long long>(s.actions_update),
+           static_cast<unsigned long long>(s.actions_delete),
+           static_cast<unsigned long long>(s.actions_create_index),
+           static_cast<unsigned long long>(s.actions_drop_index),
+           static_cast<unsigned long long>(s.actions_maintenance),
+           static_cast<unsigned long long>(s.queries_checked),
+           static_cast<unsigned long long>(s.state_compares));
+    if (!first_depth_dialect) {
+      json += ",\n";
+      stream_json += ",\n";
+    }
     first_depth_dialect = false;
     json += std::string("    {\"dialect\": \"") + DialectName(d) +
             "\", \"buckets\": [";
@@ -126,8 +154,24 @@ void PrintFigure3() {
             std::to_string(report.stats.predicates_with_function);
     json += ", \"function_calls\": " +
             std::to_string(report.stats.function_calls_generated) + "}";
+    stream_json += std::string("    {\"dialect\": \"") + DialectName(d) +
+                   "\"";
+    stream_json += ", \"insert\": " + std::to_string(s.actions_insert);
+    stream_json += ", \"update\": " + std::to_string(s.actions_update);
+    stream_json += ", \"delete\": " + std::to_string(s.actions_delete);
+    stream_json +=
+        ", \"create_index\": " + std::to_string(s.actions_create_index);
+    stream_json +=
+        ", \"drop_index\": " + std::to_string(s.actions_drop_index);
+    stream_json +=
+        ", \"maintenance\": " + std::to_string(s.actions_maintenance);
+    stream_json +=
+        ", \"pivot_checks\": " + std::to_string(s.queries_checked);
+    stream_json +=
+        ", \"state_compares\": " + std::to_string(s.state_compares) + "}";
   }
-  json += "\n  ]\n}";
+  json += "\n  ],\n";
+  json += stream_json + "\n  ]\n}";
   bench::WriteBenchJson("BENCH_figure3_features.json", json);
 
   bench::PrintHeader("§4.3 column constraints in reduced test cases");

@@ -58,10 +58,10 @@ size_t CountDirLoc(const std::string& dir) {
 
 void PrintTable4() {
   bench::PrintHeader("Table 4a: component sizes (LOC of this repository)");
-  const char* modules[] = {"common",   "sqlvalue", "sqlast",
-                           "sqlexpr",  "interp",   "minidb",
-                           "engine",   "sqlparser", "sqlite3db",
-                           "pqs"};
+  const char* modules[] = {"common",   "sqlvalue",  "sqlast",
+                           "sqlstmt",  "sqlexpr",   "interp",
+                           "minidb",   "engine",    "sqlparser",
+                           "sqlite3db", "pqs"};
   size_t total = 0;
   for (const char* m : modules) {
     size_t loc = CountDirLoc(std::string("src/") + m);
@@ -139,6 +139,23 @@ void PrintTable4() {
                merged.Hits(minidb::Feature::kExprLikeEscape)),
            static_cast<unsigned long long>(
                merged.Hits(minidb::Feature::kExprInListNull)));
+    printf("  %-28s update: %llu (all-rows: %llu)  delete: %llu  "
+           "drop-index: %llu  maintenance: %llu  index-scan: %llu "
+           "(partial: %llu)\n", "",
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kUpdate)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kUpdateAllRows)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kDelete)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kDropIndex)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kMaintenance)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kIndexScan)),
+           static_cast<unsigned long long>(
+               merged.Hits(minidb::Feature::kPartialIndexScan)));
 
     if (!first_dialect) json += ",\n";
     first_dialect = false;

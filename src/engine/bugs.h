@@ -65,6 +65,21 @@ enum class BugId : uint32_t {
   kInListNullSemantics,    // NULL list element ignored: IN yields FALSE /
                            // NOT IN yields TRUE instead of NULL
 
+  // --- Statement-level mutation engine (indexes / UPDATE / DELETE /
+  // --- maintenance), spread across the dialect flavors ------------------
+  kIndexLookupSkipLast,    // index lookup drops the greatest-key match
+  kUpdateIndexStale,       // UPDATE leaves stale index keys behind
+  kReindexTruncate,        // REINDEX rebuild keeps only half the entries
+  kDeleteOverrun,          // DELETE of ≥2 rows also removes the row after
+                           // the last match
+  kUpdateSetOrCrash,       // multi-assignment UPDATE with OR in the WHERE
+                           // → simulated SEGFAULT
+  kPartialIndexUpdateMiss, // UPDATE/DELETE skip partial-index membership
+                           // recomputation (entries reflect pre-mutation
+                           // rows)
+  kReindexPartialError,    // REINDEX of a table with a partial index →
+                           // spurious "could not reindex" error
+
   kNumBugs,
 };
 

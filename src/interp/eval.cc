@@ -957,4 +957,29 @@ void ApplyLimit(int64_t limit, bool ordered, const EvalContext& ctx,
   if (rows->size() > n) rows->resize(n);
 }
 
+bool SameRowMultiset(const std::vector<std::vector<SqlValue>>& a,
+                     const std::vector<std::vector<SqlValue>>& b) {
+  if (a.size() != b.size()) return false;
+  auto row_less = [](const std::vector<SqlValue>& x,
+                     const std::vector<SqlValue>& y) {
+    if (x.size() != y.size()) return x.size() < y.size();
+    for (size_t i = 0; i < x.size(); ++i) {
+      int c = ValueCompare(x[i], y[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::vector<std::vector<SqlValue>> sa = a;
+  std::vector<std::vector<SqlValue>> sb = b;
+  std::sort(sa.begin(), sa.end(), row_less);
+  std::sort(sb.begin(), sb.end(), row_less);
+  for (size_t r = 0; r < sa.size(); ++r) {
+    if (sa[r].size() != sb[r].size()) return false;
+    for (size_t c = 0; c < sa[r].size(); ++c) {
+      if (!ValueEquals(sa[r][c], sb[r][c])) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace pqs

@@ -149,6 +149,14 @@ bool SortIndexesByOrder(const RowSchema& schema,
 void ApplyLimit(int64_t limit, bool ordered, const EvalContext& ctx,
                 std::vector<std::vector<SqlValue>>* rows);
 
+// Multiset equality of two materialized rowsets (row order is
+// engine-defined and may legitimately differ): same row count and a
+// ValueEquals-identical pairing. Used by the runner's ground-truth state
+// comparison after mutations (DESIGN §9) and by the reducer's containment
+// differential.
+bool SameRowMultiset(const std::vector<std::vector<SqlValue>>& a,
+                     const std::vector<std::vector<SqlValue>>& b);
+
 }  // namespace pqs
 
 #endif  // PQS_SRC_INTERP_EVAL_H_

@@ -103,6 +103,29 @@ const std::vector<BugInfo>& BuildRegistry() {
       {BugId::kInListNullSemantics, "in-list-null-semantics",
        Dialect::kPostgresStrict, OracleKind::kContainment,
        ReportOutcome::kVerified},
+
+      // Statement-level mutation engine (indexes / UPDATE / DELETE /
+      // maintenance): 3 SQLite, 2 MySQL, 2 PostgreSQL. Index corruption
+      // drifts silently (containment); the mutation-path crash and the
+      // spurious maintenance error keep the crash/error oracles exercised
+      // on the new statement kinds.
+      {BugId::kIndexLookupSkipLast, "index-lookup-skip-last",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kUpdateIndexStale, "update-index-stale", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kReindexTruncate, "reindex-truncate", Dialect::kSqliteFlex,
+       OracleKind::kContainment, ReportOutcome::kVerified},
+      {BugId::kDeleteOverrun, "delete-overrun", Dialect::kMysqlLike,
+       OracleKind::kContainment, ReportOutcome::kFixed},
+      {BugId::kUpdateSetOrCrash, "update-set-or-crash", Dialect::kMysqlLike,
+       OracleKind::kCrash, ReportOutcome::kDuplicate},
+      {BugId::kPartialIndexUpdateMiss, "partial-index-update-miss",
+       Dialect::kPostgresStrict, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kReindexPartialError, "reindex-partial-error",
+       Dialect::kPostgresStrict, OracleKind::kError,
+       ReportOutcome::kIntended},
   };
   return registry;
 }

@@ -57,6 +57,13 @@ const char* FeatureName(Feature f) {
     case Feature::kExprCollate: return "expr-collate";
     case Feature::kExprLikeEscape: return "expr-like-escape";
     case Feature::kExprInListNull: return "expr-in-list-null";
+    case Feature::kUpdate: return "update";
+    case Feature::kUpdateAllRows: return "update-all-rows";
+    case Feature::kDelete: return "delete";
+    case Feature::kDropIndex: return "drop-index";
+    case Feature::kMaintenance: return "maintenance-rebuild";
+    case Feature::kIndexScan: return "index-scan";
+    case Feature::kPartialIndexScan: return "partial-index-scan";
     case Feature::kFeatureCount: break;
   }
   return "?";

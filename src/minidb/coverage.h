@@ -69,6 +69,15 @@ enum class Feature : size_t {
   kExprCollate,
   kExprLikeEscape,        // LIKE with an ESCAPE clause
   kExprInListNull,        // IN list containing a NULL element
+  // Statement-level mutation engine (indexes / UPDATE / DELETE /
+  // maintenance).
+  kUpdate,
+  kUpdateAllRows,         // UPDATE without a WHERE clause
+  kDelete,
+  kDropIndex,
+  kMaintenance,           // REINDEX / OPTIMIZE TABLE rebuild
+  kIndexScan,             // SELECT answered through a secondary index
+  kPartialIndexScan,      // ...through a *partial* index
 
   kFeatureCount,
 };

@@ -1,9 +1,63 @@
 #include "src/minidb/database.h"
 
+#include <algorithm>
+
 namespace pqs {
 namespace minidb {
 
 namespace {
+
+// Splits a WHERE tree into its top-level AND conjuncts (a non-AND node is
+// its own single conjunct). The scan planner matches index probes and
+// partial-index predicates against these.
+void FlattenConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kBinary && expr.bop == BinaryOp::kAnd &&
+      expr.args.size() == 2 && expr.args[0] && expr.args[1]) {
+    FlattenConjuncts(*expr.args[0], out);
+    FlattenConjuncts(*expr.args[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+// Lexicographic total order of index key tuples (ValueCompare per cell:
+// NULL < numeric < TEXT), with the row position as the tie-break — the
+// "B-tree page order" the ordered entry lists maintain.
+bool KeyEntryLess(const std::pair<std::vector<SqlValue>, size_t>& a,
+                  const std::pair<std::vector<SqlValue>, size_t>& b) {
+  size_t n = a.first.size() < b.first.size() ? a.first.size() : b.first.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = ValueCompare(a.first[i], b.first[i]);
+    if (c != 0) return c < 0;
+  }
+  if (a.first.size() != b.first.size()) {
+    return a.first.size() < b.first.size();
+  }
+  return a.second < b.second;
+}
+
+// True if `conjunct` is a `col <cmp> literal` (either side) comparison over
+// one of the index's key columns — the probe shape the planner can answer
+// from the ordered entries alone.
+bool IsIndexProbe(const std::vector<std::string>& index_columns,
+                  const std::string& table_name, const Expr& conjunct) {
+  if (conjunct.kind != ExprKind::kBinary || !IsComparisonOp(conjunct.bop) ||
+      conjunct.args.size() != 2 || !conjunct.args[0] || !conjunct.args[1]) {
+    return false;
+  }
+  for (int side = 0; side < 2; ++side) {
+    const Expr& col = *conjunct.args[side];
+    const Expr& lit = *conjunct.args[1 - side];
+    if (col.kind != ExprKind::kColumnRef || lit.kind != ExprKind::kLiteral) {
+      continue;
+    }
+    if (!col.table.empty() && col.table != table_name) continue;
+    for (const std::string& key_col : index_columns) {
+      if (key_col == col.column) return true;
+    }
+  }
+  return false;
+}
 
 // Finds the first column=column comparison node in the expression, if any
 // (used by the join-predicate-pushdown bug to pick its victim term).
@@ -130,11 +184,23 @@ StatementResult Database::Execute(const Stmt& stmt) {
     case StmtKind::kCreateIndex:
       result = ExecuteCreateIndex(static_cast<const CreateIndexStmt&>(stmt));
       break;
+    case StmtKind::kDropIndex:
+      result = ExecuteDropIndex(static_cast<const DropIndexStmt&>(stmt));
+      break;
     case StmtKind::kInsert:
       result = ExecuteInsert(static_cast<const InsertStmt&>(stmt));
       break;
     case StmtKind::kSelect:
       result = ExecuteSelect(static_cast<const SelectStmt&>(stmt));
+      break;
+    case StmtKind::kUpdate:
+      result = ExecuteUpdate(static_cast<const UpdateStmt&>(stmt));
+      break;
+    case StmtKind::kDelete:
+      result = ExecuteDelete(static_cast<const DeleteStmt&>(stmt));
+      break;
+    case StmtKind::kMaintenance:
+      result = ExecuteMaintenance(static_cast<const MaintenanceStmt&>(stmt));
       break;
   }
   if (result.status == StatementStatus::kError) Mark(Feature::kStatementError);
@@ -180,6 +246,10 @@ StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   if (table == nullptr) {
     return StatementResult::Failure(StatementStatus::kError,
                                     "no such table: " + stmt.table_name);
+  }
+  if (FindIndex(stmt.index_name) != nullptr) {
+    return StatementResult::Failure(
+        StatementStatus::kError, "index already exists: " + stmt.index_name);
   }
   for (const std::string& col : stmt.columns) {
     bool found = false;
@@ -229,9 +299,54 @@ StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   index.columns = stmt.columns;
   index.unique = stmt.unique;
   index.where = stmt.where ? stmt.where->Clone() : nullptr;
+  {
+    RowSchema schema = SchemaFor(table->name, table->columns);
+    for (const std::string& col : stmt.columns) {
+      index.key_cols.push_back(schema.IndexOf(stmt.table_name, col));
+    }
+  }
   indexes_.push_back(std::move(index));
+  RebuildIndex(&indexes_.back(), *table);
   return StatementResult::Ok();
 }
+
+StatementResult Database::ExecuteDropIndex(const DropIndexStmt& stmt) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].name != stmt.index_name) continue;
+    Mark(Feature::kDropIndex);
+    indexes_.erase(indexes_.begin() + static_cast<long>(i));
+    return StatementResult::Ok();
+  }
+  return StatementResult::Failure(StatementStatus::kError,
+                                  "no such index: " + stmt.index_name);
+}
+
+void Database::AddIndexEntry(IndexData* index, const TableData& table,
+                             size_t pos) {
+  const std::vector<SqlValue>& row = table.rows[pos];
+  if (index->where != nullptr) {
+    RowSchema schema = SchemaFor(table.name, table.columns);
+    EvalContext ctx{dialect_, &bugs_};
+    if (!RowCoveredByPartial(index->where.get(), schema, ctx, row)) return;
+  }
+  std::pair<std::vector<SqlValue>, size_t> entry;
+  entry.first.reserve(index->key_cols.size());
+  for (int c : index->key_cols) {
+    entry.first.push_back(row[static_cast<size_t>(c)]);
+  }
+  entry.second = pos;
+  auto at = std::upper_bound(index->entries.begin(), index->entries.end(),
+                             entry, KeyEntryLess);
+  index->entries.insert(at, std::move(entry));
+}
+
+void Database::RebuildIndex(IndexData* index, const TableData& table) {
+  index->entries.clear();
+  for (size_t pos = 0; pos < table.rows.size(); ++pos) {
+    AddIndexEntry(index, table, pos);
+  }
+}
+
 
 bool Database::CoerceForInsert(const ColumnDef& col, SqlValue* value,
                                StatementResult* failure) {
@@ -317,10 +432,16 @@ bool Database::CoerceForInsert(const ColumnDef& col, SqlValue* value,
 
 StatementResult Database::CheckConstraints(
     const TableData& table, const std::vector<SqlValue>& candidate,
-    const std::vector<std::vector<SqlValue>>& pending) {
+    const std::vector<std::vector<SqlValue>>& pending, int exclude_row) {
   for (size_t c = 0; c < table.columns.size(); ++c) {
     const ColumnDef& col = table.columns[c];
-    bool needs_value = col.not_null || col.primary_key;
+    // SQLite quirk, preserved for fidelity with the real engine: a
+    // non-INTEGER PRIMARY KEY column admits NULLs (historic bug, kept for
+    // compatibility), and the generator declares PKs as "INT". The strict
+    // dialects enforce PK ⇒ NOT NULL.
+    bool needs_value =
+        col.not_null ||
+        (col.primary_key && dialect_ != Dialect::kSqliteFlex);
     if (needs_value && candidate[c].is_null()) {
       Mark(Feature::kConstraintViolationRejected);
       return StatementResult::Failure(StatementStatus::kConstraintViolation,
@@ -332,8 +453,9 @@ StatementResult Database::CheckConstraints(
     auto collides = [&](const std::vector<SqlValue>& other) {
       return !other[c].is_null() && ValueEquals(other[c], candidate[c]);
     };
-    for (const auto& row : table.rows) {
-      if (collides(row)) {
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      if (static_cast<int>(r) == exclude_row) continue;
+      if (collides(table.rows[r])) {
         Mark(Feature::kConstraintViolationRejected);
         return StatementResult::Failure(StatementStatus::kConstraintViolation,
                                         "UNIQUE constraint failed: " +
@@ -366,8 +488,9 @@ StatementResult Database::CheckConstraints(
       return RowCoveredByPartial(index.where.get(), schema, ctx, other) &&
              KeyColumnsCollide(key_indexes, other, candidate);
     };
-    for (const auto& row : table.rows) {
-      if (collides(row)) {
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      if (static_cast<int>(r) == exclude_row) continue;
+      if (collides(table.rows[r])) {
         Mark(Feature::kConstraintViolationRejected);
         return StatementResult::Failure(StatementStatus::kConstraintViolation,
                                         "unique index constraint failed: " +
@@ -430,7 +553,215 @@ StatementResult Database::ExecuteInsert(const InsertStmt& stmt) {
     }
     accepted.push_back(std::move(row));
   }
+  size_t first_new = table->rows.size();
   for (auto& row : accepted) table->rows.push_back(std::move(row));
+  for (IndexData& index : indexes_) {
+    if (index.table_name != table->name) continue;
+    for (size_t pos = first_new; pos < table->rows.size(); ++pos) {
+      AddIndexEntry(&index, *table, pos);
+    }
+  }
+  return StatementResult::Ok();
+}
+
+StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  RowSchema schema = SchemaFor(table->name, table->columns);
+  std::vector<std::pair<size_t, const Expr*>> targets;  // (column, value)
+  for (const UpdateStmt::Assignment& a : stmt.assignments) {
+    int c = schema.IndexOf(table->name, a.column);
+    if (c < 0) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "no such column: " + a.column);
+    }
+    if (a.value == nullptr) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "missing assignment expression");
+    }
+    targets.emplace_back(static_cast<size_t>(c), a.value.get());
+  }
+  if (targets.empty()) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "UPDATE without assignments");
+  }
+
+  Mark(Feature::kUpdate);
+  if (stmt.where == nullptr) Mark(Feature::kUpdateAllRows);
+  if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
+  for (const UpdateStmt::Assignment& a : stmt.assignments) {
+    if (a.value != nullptr) MarkExprFeatures(*a.value);
+  }
+
+  if (BugOn(BugId::kUpdateSetOrCrash) && stmt.assignments.size() >= 2 &&
+      stmt.where != nullptr &&
+      stmt.where->ContainsBinaryOp(BinaryOp::kOr)) {
+    return Crash("update trigger recursion");
+  }
+
+  EvalContext ctx{dialect_, &bugs_};
+
+  // Pass 1: decide the matched set on the pre-update snapshot (SQL UPDATE
+  // semantics: the WHERE never observes this statement's own writes).
+  std::vector<char> matched(table->rows.size(), 0);
+  size_t matched_count = 0;
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    if (stmt.where == nullptr) {
+      matched[r] = 1;
+      ++matched_count;
+      continue;
+    }
+    RowView view{&schema, &table->rows[r]};
+    bool error = false;
+    Bool3 hit = EvaluatePredicate(*stmt.where, view, ctx, &error);
+    if (error) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "UPDATE WHERE evaluation failed");
+    }
+    matched[r] = hit == Bool3::kTrue ? 1 : 0;
+    matched_count += matched[r];
+  }
+  if (matched_count == 0) {
+    // Nothing to write: skip the statement journal and the index rebuild
+    // (random WHEREs miss often, and UPDATE sits in the fuzzing hot loop).
+    return StatementResult::Ok();
+  }
+
+  // Pass 2: apply in row order with immediate per-row constraint checks
+  // (the SQLite visit-and-check model: a violation aborts the statement
+  // and the statement journal rolls every earlier row back).
+  std::vector<std::vector<SqlValue>> journal = table->rows;
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    if (!matched[r]) continue;
+    RowView view{&schema, &journal[r]};  // pre-update values of this row
+    std::vector<SqlValue> updated = journal[r];
+    for (const auto& [c, value_expr] : targets) {
+      EvalResult v = Evaluate(*value_expr, view, ctx);
+      if (v.error) {
+        table->rows = std::move(journal);
+        return StatementResult::Failure(StatementStatus::kError, v.message);
+      }
+      StatementResult failure;
+      if (!CoerceForInsert(table->columns[c], &v.value, &failure)) {
+        table->rows = std::move(journal);
+        return failure;
+      }
+      updated[c] = std::move(v.value);
+    }
+    StatementResult violation = CheckConstraints(
+        *table, updated, {}, static_cast<int>(r));
+    if (!violation.ok()) {
+      table->rows = std::move(journal);
+      return violation;
+    }
+    table->rows[r] = std::move(updated);
+  }
+
+  // Index maintenance: the clean path rebuilds every index of the table.
+  // kUpdateIndexStale skips the rebuild wholesale (keys go stale);
+  // kPartialIndexUpdateMiss rebuilds only the non-partial indexes, so
+  // partial-index membership reflects the pre-update rows.
+  if (!BugOn(BugId::kUpdateIndexStale)) {
+    for (IndexData& index : indexes_) {
+      if (index.table_name != table->name) continue;
+      if (BugOn(BugId::kPartialIndexUpdateMiss) && index.where != nullptr) {
+        continue;
+      }
+      RebuildIndex(&index, *table);
+    }
+  }
+  return StatementResult::Ok();
+}
+
+StatementResult Database::ExecuteDelete(const DeleteStmt& stmt) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  Mark(Feature::kDelete);
+  if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
+
+  RowSchema schema = SchemaFor(table->name, table->columns);
+  EvalContext ctx{dialect_, &bugs_};
+  std::vector<char> doomed(table->rows.size(), 0);
+  size_t doomed_count = 0;
+  size_t last_doomed = 0;
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    if (stmt.where != nullptr) {
+      RowView view{&schema, &table->rows[r]};
+      bool error = false;
+      Bool3 hit = EvaluatePredicate(*stmt.where, view, ctx, &error);
+      if (error) {
+        return StatementResult::Failure(StatementStatus::kError,
+                                        "DELETE WHERE evaluation failed");
+      }
+      if (hit != Bool3::kTrue) continue;
+    }
+    doomed[r] = 1;
+    ++doomed_count;
+    last_doomed = r;
+  }
+  if (BugOn(BugId::kDeleteOverrun) && doomed_count >= 2) {
+    // Off-by-one in the delete cursor: the row following the last match is
+    // swept up as well.
+    for (size_t r = last_doomed + 1; r < table->rows.size(); ++r) {
+      if (!doomed[r]) {
+        doomed[r] = 1;
+        break;
+      }
+    }
+  }
+  if (doomed_count > 0 || stmt.where == nullptr) {
+    std::vector<std::vector<SqlValue>> kept;
+    kept.reserve(table->rows.size());
+    for (size_t r = 0; r < table->rows.size(); ++r) {
+      if (!doomed[r]) kept.push_back(std::move(table->rows[r]));
+    }
+    table->rows = std::move(kept);
+    // kPartialIndexUpdateMiss: partial-index membership is not recomputed
+    // on row mutations — after a DELETE its entries keep pre-delete keys
+    // and positions (dangling ones are bounds-guarded at scan time).
+    for (IndexData& index : indexes_) {
+      if (index.table_name != table->name) continue;
+      if (BugOn(BugId::kPartialIndexUpdateMiss) && index.where != nullptr) {
+        continue;
+      }
+      RebuildIndex(&index, *table);
+    }
+  }
+  return StatementResult::Ok();
+}
+
+StatementResult Database::ExecuteMaintenance(const MaintenanceStmt& stmt) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  if (BugOn(BugId::kReindexPartialError)) {
+    for (const IndexData& index : indexes_) {
+      if (index.table_name == table->name && index.where != nullptr) {
+        return StatementResult::Failure(
+            StatementStatus::kError,
+            "could not reindex: partial index predicate mismatch "
+            "(spurious)");
+      }
+    }
+  }
+  Mark(Feature::kMaintenance);
+  for (IndexData& index : indexes_) {
+    if (index.table_name != table->name) continue;
+    RebuildIndex(&index, *table);
+    if (BugOn(BugId::kReindexTruncate) && index.entries.size() >= 2) {
+      // The rebuild "runs out of page budget" and silently keeps only the
+      // first half of the entries.
+      index.entries.resize((index.entries.size() + 1) / 2);
+    }
+  }
   return StatementResult::Ok();
 }
 
@@ -654,8 +985,24 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   std::vector<std::vector<SqlValue>> joined;
   std::string relational_error;
   const std::vector<std::vector<SqlValue>>* scan_rows = nullptr;
+  // Single-table scans may be answered through a secondary index (the
+  // planner below); candidates are re-checked against the full WHERE, so
+  // on a consistent index the result is identical to the full scan — which
+  // is exactly why corrupted entries (the index bug classes) surface as
+  // missing rows.
+  std::vector<size_t> index_positions;
+  bool used_index = false;
   if (from.size() == 1 && stmt.joins.empty()) {
     scan_rows = &from[0]->rows;
+    if (use_index_scan_ && stmt.where != nullptr) {
+      bool used_partial = false;
+      used_index = PlanIndexScan(*from[0], *stmt.where, ctx,
+                                 &index_positions, &used_partial);
+      if (used_index) {
+        Mark(Feature::kIndexScan);
+        if (used_partial) Mark(Feature::kPartialIndexScan);
+      }
+    }
   } else {
     std::vector<JoinInput> inputs;
     inputs.reserve(from.size());
@@ -680,7 +1027,11 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   // unordered queries never need it.
   bool need_kept = !stmt.order_by.empty();
   std::vector<std::vector<SqlValue>> kept;
-  for (const std::vector<SqlValue>& combined : *scan_rows) {
+  size_t scan_count = used_index ? index_positions.size() : scan_rows->size();
+  for (size_t scan_i = 0; scan_i < scan_count; ++scan_i) {
+    const std::vector<SqlValue>& combined =
+        used_index ? (*scan_rows)[index_positions[scan_i]]
+                   : (*scan_rows)[scan_i];
     RowView view{&schema, &combined};
 
     bool keep = true;
@@ -813,9 +1164,91 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   return result;
 }
 
+bool Database::PlanIndexScan(const TableData& table, const Expr& where,
+                             const EvalContext& ctx,
+                             std::vector<size_t>* positions,
+                             bool* used_partial) {
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(where, &conjuncts);
+  for (IndexData& index : indexes_) {
+    if (index.table_name != table.name) continue;
+    const Expr* probe = nullptr;
+    for (const Expr* c : conjuncts) {
+      if (IsIndexProbe(index.columns, table.name, *c)) {
+        probe = c;
+        break;
+      }
+    }
+    if (index.where != nullptr) {
+      // A partial index is only sound when the WHERE provably implies its
+      // predicate; the decidable case this planner accepts is the
+      // predicate appearing verbatim as a top-level conjunct.
+      bool predicate_is_conjunct = false;
+      for (const Expr* c : conjuncts) {
+        if (c->StructurallyEquals(*index.where)) {
+          predicate_is_conjunct = true;
+          break;
+        }
+      }
+      if (!predicate_is_conjunct) continue;
+    } else if (probe == nullptr) {
+      continue;  // an unprobed full index is never better than the scan
+    }
+
+    // Candidate rows from the ordered entries: the probe is evaluated on
+    // the stored *key tuple* (that is the point of an index — and why a
+    // stale or truncated entry list changes answers), then every candidate
+    // row is still re-checked against the full WHERE by the scan loop.
+    RowSchema key_schema;
+    for (const std::string& col : index.columns) {
+      key_schema.cols.emplace_back(table.name, col);
+    }
+    std::vector<size_t> candidates;
+    bool eval_failed = false;
+    for (const auto& [key, pos] : index.entries) {
+      if (probe != nullptr) {
+        RowView view{&key_schema, &key};
+        bool error = false;
+        Bool3 hit = EvaluatePredicate(*probe, view, ctx, &error);
+        if (error) {
+          eval_failed = true;
+          break;
+        }
+        if (hit != Bool3::kTrue) continue;
+      }
+      candidates.push_back(pos);
+    }
+    if (eval_failed) continue;  // defensive: fall back to the full scan
+    if (BugOn(BugId::kIndexLookupSkipLast) && candidates.size() >= 2) {
+      // Entries are key-ordered, so the last candidate is the
+      // greatest-key match — the one the off-by-one upper bound loses.
+      candidates.pop_back();
+    }
+    // Table order (and bounds-guard against corrupted positions), so an
+    // index scan is row-for-row identical to the full scan when healthy.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    positions->clear();
+    for (size_t pos : candidates) {
+      if (pos < table.rows.size()) positions->push_back(pos);
+    }
+    *used_partial = index.where != nullptr;
+    return true;
+  }
+  return false;
+}
+
 Database::TableData* Database::FindTable(const std::string& name) {
   for (TableData& table : tables_) {
     if (table.name == name) return &table;
+  }
+  return nullptr;
+}
+
+Database::IndexData* Database::FindIndex(const std::string& name) {
+  for (IndexData& index : indexes_) {
+    if (index.name == name) return &index;
   }
   return nullptr;
 }

@@ -18,6 +18,7 @@
 #include "src/interp/eval.h"
 #include "src/minidb/coverage.h"
 #include "src/sqlast/ast.h"
+#include "src/sqlstmt/stmt.h"
 
 namespace pqs {
 namespace minidb {
@@ -41,6 +42,12 @@ class Database : public Connection {
   CoverageMap* coverage_sink() const { return coverage_; }
 
   size_t table_count() const { return tables_.size(); }
+  size_t index_count() const { return indexes_.size(); }
+
+  // Disables the secondary-index scan planner: every SELECT falls back to
+  // the full table scan. The index-consistency property test runs the same
+  // session with the planner on and off and requires identical results.
+  void set_use_index_scan(bool enabled) { use_index_scan_ = enabled; }
 
  private:
   struct TableData {
@@ -54,20 +61,53 @@ class Database : public Connection {
     std::vector<std::string> columns;
     bool unique = false;
     ExprPtr where;  // partial index predicate (nullable)
+    // B-tree-ish ordered secondary index: (key tuple, row position) pairs
+    // kept sorted by key (ValueCompare lexicographic, position tie-break).
+    // Positions reference TableData::rows; every maintenance path (INSERT
+    // append, UPDATE/DELETE rebuild, REINDEX) keeps them consistent —
+    // unless an injected index bug is the one corrupting them.
+    std::vector<int> key_cols;  // column positions within the table
+    std::vector<std::pair<std::vector<SqlValue>, size_t>> entries;
   };
 
   StatementResult ExecuteCreateTable(const CreateTableStmt& stmt);
   StatementResult ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  StatementResult ExecuteDropIndex(const DropIndexStmt& stmt);
   StatementResult ExecuteInsert(const InsertStmt& stmt);
   StatementResult ExecuteSelect(const SelectStmt& stmt);
+  StatementResult ExecuteUpdate(const UpdateStmt& stmt);
+  StatementResult ExecuteDelete(const DeleteStmt& stmt);
+  StatementResult ExecuteMaintenance(const MaintenanceStmt& stmt);
 
   TableData* FindTable(const std::string& name);
+  IndexData* FindIndex(const std::string& name);
+
+  // --- Secondary-index maintenance. ------------------------------------
+  // Appends entries for `table`'s row at `pos` (skipping rows a partial
+  // predicate does not cover), keeping the entry list key-sorted.
+  void AddIndexEntry(IndexData* index, const TableData& table, size_t pos);
+  // Rebuilds the index from the table's current rows.
+  void RebuildIndex(IndexData* index, const TableData& table);
+
+  // --- Scan planner. -----------------------------------------------------
+  // Decides whether a single-table SELECT's WHERE can be answered through
+  // a secondary index: a non-partial index needs a `col <cmp> literal`
+  // conjunct over one of its key columns; a partial index additionally
+  // requires its own predicate to appear as a top-level WHERE conjunct
+  // (structural equality), which is what makes using it sound. On success
+  // fills `positions` with the candidate row positions in table order.
+  bool PlanIndexScan(const TableData& table, const Expr& where,
+                     const EvalContext& ctx, std::vector<size_t>* positions,
+                     bool* used_partial);
+
   // Returns an error/violation result if `candidate` (to be added to
   // `table`) breaks a declared constraint, also considering `pending` rows
-  // of the same statement.
+  // of the same statement. `exclude_row` (≥ 0) skips one stored row in the
+  // collision scans — the row an UPDATE is about to replace.
   StatementResult CheckConstraints(
       const TableData& table, const std::vector<SqlValue>& candidate,
-      const std::vector<std::vector<SqlValue>>& pending);
+      const std::vector<std::vector<SqlValue>>& pending,
+      int exclude_row = -1);
   // Applies dialect insert-position coercion of `value` into `col`.
   // Returns false (and fills *failure) when the dialect rejects the value.
   bool CoerceForInsert(const ColumnDef& col, SqlValue* value,
@@ -85,6 +125,7 @@ class Database : public Connection {
   BugConfig bugs_;
   CoverageMap* coverage_ = nullptr;
   bool alive_ = true;
+  bool use_index_scan_ = true;
   std::vector<TableData> tables_;
   std::vector<IndexData> indexes_;
 };

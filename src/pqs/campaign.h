@@ -27,10 +27,14 @@ const char* ReportOutcomeName(ReportOutcome outcome);
 struct CampaignOptions {
   uint64_t seed = 1;
   // Detection budget per bug: up to this many generated databases...
-  // (160 holds the whole 35-bug registry's worst observed detection
-  // latency across seeds with ~15% headroom; the heavy-tail cases are the
-  // data-dependent expression bugs like coalesce-first-null.)
-  int databases_per_bug = 160;
+  // (480 holds the whole 42-bug registry's worst observed detection
+  // latency across seeds with headroom; the heavy tail moved from the
+  // data-dependent expression bugs to the index-maintenance classes —
+  // update-index-stale and partial-index-update-miss need an UPDATE to an
+  // indexed column *and* a prompt index-scanned query over it, observed up
+  // to ~410 databases on adversarial seeds. Cheap on average: HuntBug
+  // stops at the first finding, so only the tail pays.)
+  int databases_per_bug = 480;
   // ...with this many oracle-checked queries each.
   int queries_per_database = 20;
   bool reduce = true;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/sqlexpr/registry.h"
+#include "src/sqlstmt/stmt.h"
 
 namespace pqs {
 
@@ -91,6 +92,26 @@ std::string GeneratorOptions::Validate() const {
     std::string err = check_prob(name, p);
     if (!err.empty()) return err;
   }
+  const std::pair<const char*, double> weights[] = {
+      {"pivot_check_weight", pivot_check_weight},
+      {"insert_weight", insert_weight},
+      {"update_weight", update_weight},
+      {"delete_weight", delete_weight},
+      {"create_index_weight", create_index_weight},
+      {"drop_index_weight", drop_index_weight},
+      {"maintenance_weight", maintenance_weight},
+  };
+  for (const auto& [name, w] : weights) {
+    if (!(w >= 0.0)) return std::string(name) + " must be non-negative";
+  }
+  if (!(pivot_check_weight > 0.0)) {
+    return "pivot_check_weight must be positive";
+  }
+  std::string err = check_count("max_actions_per_check",
+                                max_actions_per_check);
+  if (!err.empty()) return err;
+  err = check_prob("partial_probe_probability", partial_probe_probability);
+  if (!err.empty()) return err;
   return "";
 }
 
@@ -192,35 +213,8 @@ DatabasePlan Generator::GenerateDatabase(Rng* rng) const {
   int index_counter = 0;
   for (const TableSchema& table : plan.tables) {
     for (int i = 0; i < 2 && rng->Chance(options_.index_probability); ++i) {
-      auto index = std::make_unique<CreateIndexStmt>();
-      index->index_name = "i" + std::to_string(index_counter++);
-      index->table_name = table.name;
-      size_t first = rng->Below(table.columns.size());
-      index->columns.push_back(table.columns[first].name);
-      if (table.columns.size() > 1 && rng->Chance(0.3)) {
-        size_t second = rng->Below(table.columns.size());
-        if (second != first) {
-          index->columns.push_back(table.columns[second].name);
-        }
-      }
-      index->unique = rng->Chance(0.25);
-      if (rng->Chance(options_.partial_index_probability)) {
-        const ColumnDef& col =
-            table.columns[rng->Below(table.columns.size())];
-        double form = rng->Unit();
-        if (form < 0.5) {
-          index->where = MakeIsNull(MakeColumnRef(table.name, col.name),
-                                    /*negated=*/true);
-        } else if (form < 0.75) {
-          index->where = MakeIsNull(MakeColumnRef(table.name, col.name),
-                                    /*negated=*/false);
-        } else {
-          index->where = MakeBinary(
-              BinaryOp::kGt, MakeColumnRef(table.name, col.name),
-              MakeLiteral(RandomLiteralNear(col.affinity, rng)));
-        }
-      }
-      plan.statements.push_back(std::move(index));
+      plan.statements.push_back(GenerateIndex(
+          table, "i" + std::to_string(index_counter++), rng));
     }
   }
 
@@ -234,29 +228,196 @@ DatabasePlan Generator::GenerateDatabase(Rng* rng) const {
       auto insert = std::make_unique<InsertStmt>();
       insert->table_name = table.name;
       for (int r = 0; r < in_stmt; ++r) {
-        std::vector<ExprPtr> row;
-        for (const ColumnDef& col : table.columns) {
-          double null_p = col.not_null ? 0.02 : options_.null_probability;
-          if (rng->Chance(null_p)) {
-            row.push_back(MakeNullLiteral());
-            continue;
-          }
-          SqlValue v = RandomValueFor(col.affinity, rng);
-          if ((col.unique || col.primary_key) &&
-              col.affinity == Affinity::kInteger &&
-              v.cls == StorageClass::kInteger) {
-            // Wider range keeps most unique inserts from colliding.
-            v = SqlValue::Int(rng->IntIn(-99, 99));
-          }
-          row.push_back(MakeLiteral(std::move(v)));
-        }
-        insert->rows.push_back(std::move(row));
+        insert->rows.push_back(GenerateRowValues(table, rng));
       }
       rows -= in_stmt;
       plan.statements.push_back(std::move(insert));
     }
   }
   return plan;
+}
+
+std::unique_ptr<CreateIndexStmt> Generator::GenerateIndex(
+    const TableSchema& table, std::string index_name, Rng* rng) const {
+  auto index = std::make_unique<CreateIndexStmt>();
+  index->index_name = std::move(index_name);
+  index->table_name = table.name;
+  size_t first = rng->Below(table.columns.size());
+  index->columns.push_back(table.columns[first].name);
+  if (table.columns.size() > 1 && rng->Chance(0.3)) {
+    size_t second = rng->Below(table.columns.size());
+    if (second != first) {
+      index->columns.push_back(table.columns[second].name);
+    }
+  }
+  index->unique = rng->Chance(0.25);
+  if (rng->Chance(options_.partial_index_probability)) {
+    const ColumnDef& col = table.columns[rng->Below(table.columns.size())];
+    double form = rng->Unit();
+    if (form < 0.5) {
+      index->where = MakeIsNull(MakeColumnRef(table.name, col.name),
+                                /*negated=*/true);
+    } else if (form < 0.75) {
+      index->where = MakeIsNull(MakeColumnRef(table.name, col.name),
+                                /*negated=*/false);
+    } else {
+      index->where = MakeBinary(
+          BinaryOp::kGt, MakeColumnRef(table.name, col.name),
+          MakeLiteral(RandomLiteralNear(col.affinity, rng)));
+    }
+  }
+  return index;
+}
+
+std::vector<ExprPtr> Generator::GenerateRowValues(const TableSchema& table,
+                                                  Rng* rng) const {
+  std::vector<ExprPtr> row;
+  row.reserve(table.columns.size());
+  for (const ColumnDef& col : table.columns) {
+    double null_p = col.not_null ? 0.02 : options_.null_probability;
+    if (rng->Chance(null_p)) {
+      row.push_back(MakeNullLiteral());
+      continue;
+    }
+    SqlValue v = RandomValueFor(col.affinity, rng);
+    if ((col.unique || col.primary_key) &&
+        col.affinity == Affinity::kInteger &&
+        v.cls == StorageClass::kInteger) {
+      // Wider range keeps most unique inserts from colliding.
+      v = SqlValue::Int(rng->IntIn(-99, 99));
+    }
+    row.push_back(MakeLiteral(std::move(v)));
+  }
+  return row;
+}
+
+std::unique_ptr<InsertStmt> Generator::GenerateInsertRows(
+    const TableSchema& table, Rng* rng) const {
+  auto insert = std::make_unique<InsertStmt>();
+  insert->table_name = table.name;
+  int rows = rng->Chance(0.3) ? 2 : 1;
+  for (int r = 0; r < rows; ++r) {
+    insert->rows.push_back(GenerateRowValues(table, rng));
+  }
+  return insert;
+}
+
+std::unique_ptr<UpdateStmt> Generator::GenerateUpdate(
+    const TableSchema& table,
+    const std::vector<std::string>& literal_only_columns,
+    const std::vector<std::string>& hot_columns, Rng* rng) const {
+  auto update = std::make_unique<UpdateStmt>();
+  update->table_name = table.name;
+
+  size_t first = rng->Below(table.columns.size());
+  if (!hot_columns.empty() && rng->Chance(0.5)) {
+    const std::string& hot = hot_columns[rng->Below(hot_columns.size())];
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (table.columns[c].name == hot) {
+        first = c;
+        break;
+      }
+    }
+  }
+  std::vector<size_t> targets{first};
+  if (table.columns.size() > 1 && rng->Chance(0.35)) {
+    size_t second = rng->Below(table.columns.size());
+    if (second != first) targets.push_back(second);
+  }
+
+  auto literal_only = [&](const ColumnDef& col) {
+    if (col.unique || col.primary_key) return true;
+    for (const std::string& name : literal_only_columns) {
+      if (name == col.name) return true;
+    }
+    return false;
+  };
+  // Same-type-class source columns for column-ref / arithmetic values.
+  // Value expressions are evaluated against the row's pre-update values
+  // and coerced with the same insert-position affinity rules, so the
+  // restrictions below (no REAL sources for INTEGER targets, text targets
+  // take text sources only) keep the model's stored values byte-identical
+  // to real SQLite's.
+  auto same_class_source = [&](const ColumnDef& target) -> const ColumnDef* {
+    std::vector<const ColumnDef*> pool;
+    for (const ColumnDef& col : table.columns) {
+      if (target.affinity == Affinity::kInteger &&
+          col.affinity != Affinity::kInteger) {
+        continue;  // a REAL source would defeat integer-affinity rounding
+      }
+      if (target.affinity == Affinity::kReal &&
+          col.affinity == Affinity::kText) {
+        continue;
+      }
+      if (target.affinity == Affinity::kText &&
+          col.affinity != Affinity::kText) {
+        continue;
+      }
+      pool.push_back(&col);
+    }
+    if (pool.empty()) return nullptr;
+    return pool[rng->Below(pool.size())];
+  };
+
+  for (size_t t : targets) {
+    const ColumnDef& col = table.columns[t];
+    UpdateStmt::Assignment assign;
+    assign.column = col.name;
+    bool nullable =
+        !col.not_null &&
+        !(col.primary_key && dialect_ != Dialect::kSqliteFlex);
+    if (nullable && rng->Chance(0.12)) {
+      // NULL assignments flip IS [NOT] NULL partial-index membership —
+      // the data movement the partial-index bug classes need.
+      assign.value = MakeNullLiteral();
+    } else if (literal_only(col)) {
+      SqlValue v = RandomValueFor(col.affinity, rng);
+      if (col.affinity == Affinity::kInteger &&
+          v.cls == StorageClass::kInteger) {
+        v = SqlValue::Int(rng->IntIn(-99, 99));
+      }
+      assign.value = MakeLiteral(std::move(v));
+    } else {
+      double roll = rng->Unit();
+      const ColumnDef* source =
+          roll >= 0.45 ? same_class_source(col) : nullptr;
+      if (source == nullptr || roll < 0.45) {
+        assign.value = MakeLiteral(RandomValueFor(col.affinity, rng));
+      } else if (roll < 0.7 || col.affinity == Affinity::kText) {
+        if (col.affinity == Affinity::kText &&
+            dialect_ == Dialect::kSqliteFlex && rng->Chance(0.25)) {
+          assign.value =
+              MakeBinary(BinaryOp::kConcat,
+                         MakeColumnRef(table.name, source->name),
+                         MakeTextLiteral(RandomText(rng)));
+        } else {
+          assign.value = MakeColumnRef(table.name, source->name);
+        }
+      } else {
+        // col ± small literal over a numeric source.
+        assign.value = MakeBinary(
+            rng->Chance(0.5) ? BinaryOp::kAdd : BinaryOp::kSub,
+            MakeColumnRef(table.name, source->name),
+            MakeIntLiteral(rng->IntIn(1, 3)));
+      }
+    }
+    update->assignments.push_back(std::move(assign));
+  }
+
+  if (rng->Chance(0.9)) {
+    std::vector<const TableSchema*> tables{&table};
+    update->where = GeneratePredicate(tables, rng);
+  }
+  return update;
+}
+
+std::unique_ptr<DeleteStmt> Generator::GenerateDelete(
+    const TableSchema& table, Rng* rng) const {
+  auto del = std::make_unique<DeleteStmt>();
+  del->table_name = table.name;
+  std::vector<const TableSchema*> tables{&table};
+  del->where = GeneratePredicate(tables, rng);
+  return del;
 }
 
 QueryShape Generator::GenerateQueryShape(const DatabasePlan& plan,

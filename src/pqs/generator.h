@@ -11,9 +11,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/common/rng.h"
 #include "src/engine/connection.h"
 #include "src/sqlast/ast.h"
+#include "src/sqlstmt/stmt.h"
 
 namespace pqs {
 
@@ -66,6 +69,25 @@ struct GeneratorOptions {
   double like_escape_probability = 0.4;
   // Probability an IN list includes a NULL element (UNKNOWN semantics).
   double in_list_null_probability = 0.25;
+
+  // --- Statement-level mutation stream (indexes / UPDATE / DELETE /
+  // --- maintenance — DESIGN §9). ----------------------------------------
+  // Weighted statement mix the ActionScheduler draws between pivot checks:
+  // each batch keeps drawing from the mix until the pivot-check action
+  // comes up (capped at max_actions_per_check). Zeroing every mutation
+  // weight reproduces the earlier all-SELECT sessions.
+  double pivot_check_weight = 6.0;
+  double insert_weight = 1.0;
+  double update_weight = 1.2;
+  double delete_weight = 0.7;
+  double create_index_weight = 0.5;
+  double drop_index_weight = 0.25;
+  double maintenance_weight = 0.3;
+  int max_actions_per_check = 6;
+  // Probability a generated WHERE AND-prepends the predicate of a live
+  // partial index over the queried table, which is what makes the
+  // partial-index scan planner (and its bug classes) reachable.
+  double partial_probe_probability = 0.3;
 
   // Validates ranges: depths/counts non-negative, row bounds ordered, and
   // every probability within [0, 1]. Returns an empty string when valid,
@@ -125,7 +147,39 @@ class Generator {
   ExprPtr GeneratePredicate(
       const std::vector<const TableSchema*>& tables, Rng* rng) const;
 
+  // --- Statement-level mutations (drawn by the ActionScheduler). --------
+  // 1-2 fresh rows for `table`, same value model as the setup inserts.
+  std::unique_ptr<InsertStmt> GenerateInsertRows(const TableSchema& table,
+                                                 Rng* rng) const;
+  // UPDATE with 1-2 assignments and (usually) a WHERE predicate. Columns
+  // named in `literal_only_columns` (declared UNIQUE/PK plus live unique
+  // index keys) only ever receive literal values, which keeps constraint
+  // decisions independent of the engine's row visit order — the property
+  // that lets the ground-truth model mirror real SQLite exactly (DESIGN
+  // §9). Other columns may also receive same-type-class column refs,
+  // numeric col±lit arithmetic, or (SQLite) a text concat. `hot_columns`
+  // (live index key/predicate columns, from the scheduler) bias the first
+  // assignment target: updating an indexed column is what moves index
+  // entries, so the index-maintenance bug classes stay reachable at a
+  // useful rate.
+  std::unique_ptr<UpdateStmt> GenerateUpdate(
+      const TableSchema& table,
+      const std::vector<std::string>& literal_only_columns,
+      const std::vector<std::string>& hot_columns, Rng* rng) const;
+  // DELETE with a WHERE predicate (never the whole table).
+  std::unique_ptr<DeleteStmt> GenerateDelete(const TableSchema& table,
+                                             Rng* rng) const;
+  // Random index over `table` (single/two-column, sometimes UNIQUE,
+  // sometimes partial); used for both the setup phase and mid-session
+  // CREATE INDEX actions.
+  std::unique_ptr<CreateIndexStmt> GenerateIndex(const TableSchema& table,
+                                                 std::string index_name,
+                                                 Rng* rng) const;
+
  private:
+  // One row of literal value expressions for `table`, in column order.
+  std::vector<ExprPtr> GenerateRowValues(const TableSchema& table,
+                                         Rng* rng) const;
   JoinKind RandomJoinKind(Rng* rng) const;
   ExprPtr GenPredicate(const std::vector<const TableSchema*>& tables,
                        int depth, Rng* rng) const;

@@ -1,5 +1,7 @@
 #include "src/pqs/oracles.h"
 
+#include "src/sqlstmt/stmt.h"
+
 namespace pqs {
 
 const char* OracleName(OracleKind kind) {
@@ -69,6 +71,10 @@ void AggregateStats::Add(const TestCaseStats& tc) {
   if (tc.max_expr_depth > max_expr_depth) {
     max_expr_depth = tc.max_expr_depth;
   }
+  with_update += tc.has_update ? 1 : 0;
+  with_delete += tc.has_delete ? 1 : 0;
+  with_drop_index += tc.has_drop_index ? 1 : 0;
+  with_maintenance += tc.has_maintenance ? 1 : 0;
 }
 
 void AggregateStats::Merge(const AggregateStats& other) {
@@ -98,6 +104,10 @@ void AggregateStats::Merge(const AggregateStats& other) {
   if (other.max_expr_depth > max_expr_depth) {
     max_expr_depth = other.max_expr_depth;
   }
+  with_update += other.with_update;
+  with_delete += other.with_delete;
+  with_drop_index += other.with_drop_index;
+  with_maintenance += other.with_maintenance;
 }
 
 double AggregateStats::AverageLoc() const {
@@ -140,6 +150,30 @@ TestCaseStats AnalyzeTestCase(const Finding& finding) {
       }
       case StmtKind::kCreateIndex:
         stats.has_create_index = true;
+        break;
+      case StmtKind::kUpdate: {
+        stats.has_update = true;
+        const auto& up = static_cast<const UpdateStmt&>(*s);
+        if (up.where != nullptr) {
+          int depth = up.where->Depth();
+          if (depth > stats.max_expr_depth) stats.max_expr_depth = depth;
+        }
+        break;
+      }
+      case StmtKind::kDelete: {
+        stats.has_delete = true;
+        const auto& del = static_cast<const DeleteStmt&>(*s);
+        if (del.where != nullptr) {
+          int depth = del.where->Depth();
+          if (depth > stats.max_expr_depth) stats.max_expr_depth = depth;
+        }
+        break;
+      }
+      case StmtKind::kDropIndex:
+        stats.has_drop_index = true;
+        break;
+      case StmtKind::kMaintenance:
+        stats.has_maintenance = true;
         break;
       case StmtKind::kSelect: {
         const auto& sel = static_cast<const SelectStmt&>(*s);

@@ -78,6 +78,12 @@ struct TestCaseStats {
   bool has_case = false;
   bool has_collate = false;
   int max_expr_depth = 0;
+  // Statement-mutation buckets (PR 5): the state-changing statement kinds
+  // of the action stream present in the test case.
+  bool has_update = false;
+  bool has_delete = false;
+  bool has_drop_index = false;
+  bool has_maintenance = false;
 };
 
 struct CategoryStat {
@@ -109,6 +115,11 @@ struct AggregateStats {
   size_t with_collate = 0;
   // Deepest WHERE/ON expression seen across all test cases.
   int max_expr_depth = 0;
+  // Statement-mutation buckets.
+  size_t with_update = 0;
+  size_t with_delete = 0;
+  size_t with_drop_index = 0;
+  size_t with_maintenance = 0;
 
   void Add(const TestCaseStats& tc);
   // Value merge of per-shard aggregates: Merge(a, b) of disjoint shards

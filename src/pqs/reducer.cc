@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/interp/eval.h"
+
 namespace pqs {
 
 namespace {
@@ -11,27 +13,7 @@ namespace {
 // Multiset equality of result rows (row order is engine-defined and may
 // legitimately differ once rows are dropped).
 bool SameResultRows(const StatementResult& a, const StatementResult& b) {
-  if (a.rows.size() != b.rows.size()) return false;
-  auto row_less = [](const std::vector<SqlValue>& x,
-                     const std::vector<SqlValue>& y) {
-    if (x.size() != y.size()) return x.size() < y.size();
-    for (size_t i = 0; i < x.size(); ++i) {
-      int c = ValueCompare(x[i], y[i]);
-      if (c != 0) return c < 0;
-    }
-    return false;
-  };
-  std::vector<std::vector<SqlValue>> sa = a.rows;
-  std::vector<std::vector<SqlValue>> sb = b.rows;
-  std::sort(sa.begin(), sa.end(), row_less);
-  std::sort(sb.begin(), sb.end(), row_less);
-  for (size_t r = 0; r < sa.size(); ++r) {
-    if (sa[r].size() != sb[r].size()) return false;
-    for (size_t c = 0; c < sa[r].size(); ++c) {
-      if (!ValueEquals(sa[r][c], sb[r][c])) return false;
-    }
-  }
-  return true;
+  return SameRowMultiset(a.rows, b.rows);
 }
 
 // Replays all statements but the last; returns false if the engine died.

@@ -7,6 +7,8 @@
 
 #include "src/common/rng.h"
 #include "src/interp/eval.h"
+#include "src/minidb/database.h"
+#include "src/pqs/scheduler.h"
 #include "src/sqlexpr/rectify.h"
 
 namespace pqs {
@@ -30,6 +32,47 @@ std::vector<StmtPtr> CloneLog(const DatabasePlan& plan, size_t count,
   }
   if (last != nullptr) out.push_back(last->Clone());
   return out;
+}
+
+// Clones the whole replayable session: the setup plan, every mutation
+// executed so far, and optionally the triggering statement. Mutation
+// statements never read their own results, so this flat order reproduces
+// the exact state the finding was observed in.
+std::vector<StmtPtr> CloneSession(const DatabasePlan& plan,
+                                  const std::vector<StmtPtr>& mutations,
+                                  const Stmt* last) {
+  std::vector<StmtPtr> out;
+  out.reserve(plan.statements.size() + mutations.size() + 1);
+  for (const StmtPtr& s : plan.statements) out.push_back(s->Clone());
+  for (const StmtPtr& m : mutations) out.push_back(m->Clone());
+  if (last != nullptr) out.push_back(last->Clone());
+  return out;
+}
+
+// Statement-stream distribution tallies for the mutation actions.
+void TallyAction(const Stmt& stmt, RunStats* stats) {
+  switch (stmt.kind()) {
+    case StmtKind::kInsert:
+      ++stats->actions_insert;
+      break;
+    case StmtKind::kUpdate:
+      ++stats->actions_update;
+      break;
+    case StmtKind::kDelete:
+      ++stats->actions_delete;
+      break;
+    case StmtKind::kCreateIndex:
+      ++stats->actions_create_index;
+      break;
+    case StmtKind::kDropIndex:
+      ++stats->actions_drop_index;
+      break;
+    case StmtKind::kMaintenance:
+      ++stats->actions_maintenance;
+      break;
+    default:
+      break;
+  }
 }
 
 // Worst-case 1-based position of the pivot in `query`'s result under
@@ -135,6 +178,17 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
   DatabasePlan plan = generator.GenerateDatabase(&rng);
   ++out.stats.databases_created;
 
+  // Ground truth under mutation (DESIGN §9): a clean MiniDB instance —
+  // the reference implementation of the shared interp core — replays
+  // every setup and mutation statement alongside the engine under test.
+  // At each pivot selection the engine's table contents are compared with
+  // the model's as multisets, so a mutation the engine applied wrongly
+  // (lost row, ghost row, wrong value) is caught even though the later
+  // rectified query can only prove *pivot* containment.
+  minidb::Database model(dialect);
+  ActionScheduler scheduler(&generator, options.gen, &plan);
+  std::vector<StmtPtr> mutation_log;
+
   bool finding_in_db = false;
   auto record = [&](Finding finding) {
     finding.dialect = dialect;
@@ -149,6 +203,8 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     StatementResult result = conn->Execute(*stmt);
     ++out.stats.statements_executed;
     ++setup_done;
+    StatementResult model_result = model.Execute(*stmt);
+    scheduler.Observe(*stmt, model_result.ok());
     if (result.status == StatementStatus::kConstraintViolation) {
       ++out.stats.constraint_violations;
       continue;
@@ -173,13 +229,49 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
 
   // --- Query phase. ---------------------------------------------------
   for (int q = 0; q < options.queries_per_database && !finding_in_db; ++q) {
+    // Mutation phase: the weighted statement stream between pivot checks
+    // (DESIGN §9). Every action runs on the engine *and* the ground-truth
+    // model; a spurious error or crash is an oracle violation right here.
+    for (StmtPtr& action : scheduler.NextBatch(&rng)) {
+      StatementResult engine_result = conn->Execute(*action);
+      ++out.stats.statements_executed;
+      TallyAction(*action, &out.stats);
+      StatementResult model_result = model.Execute(*action);
+      scheduler.Observe(*action, model_result.ok());
+      StatementStatus status = engine_result.status;
+      std::string error = std::move(engine_result.error);
+      mutation_log.push_back(std::move(action));
+      if (status == StatementStatus::kUnsupported) {
+        out.unsupported_engine = true;
+        return out;
+      }
+      if (status == StatementStatus::kConstraintViolation) {
+        ++out.stats.constraint_violations;
+        continue;
+      }
+      if (status == StatementStatus::kError ||
+          status == StatementStatus::kCrash) {
+        Finding finding;
+        finding.oracle = status == StatementStatus::kError
+                             ? OracleKind::kError
+                             : OracleKind::kCrash;
+        // The triggering mutation is already the log's last statement.
+        finding.statements = CloneSession(plan, mutation_log, nullptr);
+        finding.message = error;
+        record(std::move(finding));
+        break;
+      }
+    }
+    if (finding_in_db) break;
+
     QueryShape shape = generator.GenerateQueryShape(plan, &rng);
     const std::vector<const TableSchema*>& from = shape.tables;
 
     // Pivot selection through the Connection API: fetch each FROM
-    // table's rows and pick one at random (paper §3.2 step 2). The full
-    // rowsets are retained: the LIMIT bound below recomputes the query on
-    // them under reference semantics.
+    // table's rows and pick one at random (paper §3.2 step 2 — re-run
+    // after every mutation batch, so the pivot is always re-selected from
+    // the mutated state). The full rowsets are retained: the LIMIT bound
+    // below recomputes the query on them under reference semantics.
     RowSchema pivot_schema;
     std::vector<SqlValue> pivot;
     std::vector<std::vector<std::vector<SqlValue>>> table_rows;
@@ -200,15 +292,56 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         finding.oracle = rows.status == StatementStatus::kCrash
                              ? OracleKind::kCrash
                              : OracleKind::kError;
-        finding.statements =
-            CloneLog(plan, plan.statements.size(), &fetch);
+        finding.statements = CloneSession(plan, mutation_log, &fetch);
         finding.message = rows.error;
         record(std::move(finding));
         have_pivot = false;
         break;
       }
+      // Ground-truth state comparison: after replaying the same mutations
+      // through the shared interp core, the engine's table must hold
+      // exactly the model's rows. This is what keeps containment exact
+      // under UPDATE/DELETE — a wrongly-deleted row could otherwise never
+      // be picked as a pivot and would go unnoticed.
+      StatementResult model_rows = model.Execute(fetch);
+      ++out.stats.state_compares;
+      if (model_rows.ok() && !SameRowMultiset(rows.rows, model_rows.rows)) {
+        Finding finding;
+        finding.oracle = OracleKind::kContainment;
+        finding.statements = CloneSession(plan, mutation_log, &fetch);
+        // The pivot is the first ground-truth row the engine lost (empty
+        // when the engine instead has rows the model does not).
+        for (const auto& model_row : model_rows.rows) {
+          bool present = false;
+          for (const auto& engine_row : rows.rows) {
+            if (engine_row.size() == model_row.size()) {
+              bool equal = true;
+              for (size_t c = 0; c < model_row.size(); ++c) {
+                if (!ValueEquals(engine_row[c], model_row[c])) {
+                  equal = false;
+                  break;
+                }
+              }
+              if (equal) present = true;
+            }
+            if (present) break;
+          }
+          if (!present) {
+            finding.pivot = model_row;
+            break;
+          }
+        }
+        finding.message =
+            "table " + table->name +
+            " diverged from the ground-truth mutation replay: engine has " +
+            std::to_string(rows.rows.size()) + " row(s), reference " +
+            std::to_string(model_rows.rows.size());
+        record(std::move(finding));
+        have_pivot = false;
+        break;
+      }
       if (rows.rows.empty()) {
-        have_pivot = false;  // all inserts into this table were rejected
+        have_pivot = false;  // empty after rejections or deletes
         ++out.stats.queries_skipped;
         break;
       }
@@ -262,6 +395,18 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     }
 
     ExprPtr predicate = generator.GeneratePredicate(from, &rng);
+
+    // Partial-index probe: sometimes AND a live partial index's predicate
+    // in front of the WHERE, making the partial-index scan planner
+    // reachable. Rectification leaves the conjunct intact exactly when the
+    // raw composite is TRUE on the pivot (the other branches wrap the
+    // whole expression, and the planner then simply falls back to a full
+    // scan — sound either way).
+    if (ExprPtr probe =
+            scheduler.MaybePartialIndexProbe(from[0]->name, &rng)) {
+      predicate = MakeBinary(BinaryOp::kAnd, std::move(probe),
+                             std::move(predicate));
+    }
 
     // Algorithm 3: evaluate the raw predicate on the pivot with
     // reference semantics, tally the branch, and rectify to TRUE.
@@ -337,7 +482,7 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     if (result.status == StatementStatus::kCrash) {
       Finding finding;
       finding.oracle = OracleKind::kCrash;
-      finding.statements = CloneLog(plan, plan.statements.size(), &query);
+      finding.statements = CloneSession(plan, mutation_log, &query);
       finding.message = result.error;
       record(std::move(finding));
       break;
@@ -346,7 +491,7 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         result.status == StatementStatus::kConstraintViolation) {
       Finding finding;
       finding.oracle = OracleKind::kError;
-      finding.statements = CloneLog(plan, plan.statements.size(), &query);
+      finding.statements = CloneSession(plan, mutation_log, &query);
       finding.message = result.error;
       record(std::move(finding));
       break;
@@ -354,7 +499,7 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     if (options.gen.rectify && !ResultContainsRow(result, pivot)) {
       Finding finding;
       finding.oracle = OracleKind::kContainment;
-      finding.statements = CloneLog(plan, plan.statements.size(), &query);
+      finding.statements = CloneSession(plan, mutation_log, &query);
       finding.pivot = pivot;
       std::string row_text;
       for (const SqlValue& v : pivot) {
@@ -409,6 +554,13 @@ void RunStats::Merge(const RunStats& other) {
   constraint_violations += other.constraint_violations;
   join_conditions_rectified += other.join_conditions_rectified;
   limited_queries += other.limited_queries;
+  actions_insert += other.actions_insert;
+  actions_update += other.actions_update;
+  actions_delete += other.actions_delete;
+  actions_create_index += other.actions_create_index;
+  actions_drop_index += other.actions_drop_index;
+  actions_maintenance += other.actions_maintenance;
+  state_compares += other.state_compares;
   for (int i = 0; i < kDepthBuckets; ++i) {
     predicate_depth_buckets[i] += other.predicate_depth_buckets[i];
   }

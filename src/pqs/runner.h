@@ -56,6 +56,17 @@ struct RunStats {
   uint64_t predicate_depth_buckets[kDepthBuckets] = {0, 0, 0, 0, 0};
   uint64_t predicates_with_function = 0;
   uint64_t function_calls_generated = 0;
+  // Statement-stream tallies (DESIGN §9): mutation statements the
+  // ActionScheduler issued between pivot checks, and how many ground-truth
+  // state comparisons (engine table vs model table, as multisets) the
+  // pivot-selection phase performed.
+  uint64_t actions_insert = 0;
+  uint64_t actions_update = 0;
+  uint64_t actions_delete = 0;
+  uint64_t actions_create_index = 0;
+  uint64_t actions_drop_index = 0;
+  uint64_t actions_maintenance = 0;
+  uint64_t state_compares = 0;
 
   // Value merge: adds `other`'s tallies into this one. Merging the
   // per-shard stats of a run in any order equals the single-run totals.

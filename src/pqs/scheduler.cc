@@ -1,0 +1,180 @@
+#include "src/pqs/scheduler.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace pqs {
+
+ActionScheduler::ActionScheduler(const Generator* generator,
+                                 const GeneratorOptions& options,
+                                 const DatabasePlan* plan)
+    : generator_(generator), options_(options), plan_(plan) {}
+
+const TableSchema* ActionScheduler::PickTable(Rng* rng) const {
+  return &plan_->tables[rng->Below(plan_->tables.size())];
+}
+
+std::vector<std::string> ActionScheduler::LiteralOnlyColumns(
+    const TableSchema& table) const {
+  std::vector<std::string> out;
+  for (const ColumnDef& col : table.columns) {
+    if (col.unique || col.primary_key) out.push_back(col.name);
+  }
+  for (const LiveIndex& index : live_) {
+    if (!index.unique || index.table != table.name) continue;
+    for (const std::string& col : index.columns) out.push_back(col);
+  }
+  return out;
+}
+
+namespace {
+
+void CollectColumnRefs(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == ExprKind::kColumnRef) out->push_back(expr.column);
+  for (const ExprPtr& a : expr.args) {
+    if (a != nullptr) CollectColumnRefs(*a, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ActionScheduler::IndexedColumns(
+    const TableSchema& table) const {
+  std::vector<std::string> out;
+  for (const LiveIndex& index : live_) {
+    if (index.table != table.name) continue;
+    for (const std::string& col : index.columns) out.push_back(col);
+    if (index.where != nullptr) CollectColumnRefs(*index.where, &out);
+  }
+  return out;
+}
+
+std::vector<StmtPtr> ActionScheduler::NextBatch(Rng* rng) {
+  std::vector<StmtPtr> batch;
+  const GeneratorOptions& o = options_;
+  double mutation_total = o.insert_weight + o.update_weight +
+                          o.delete_weight + o.create_index_weight +
+                          o.drop_index_weight + o.maintenance_weight;
+  if (!(mutation_total > 0.0)) return batch;
+  // live_ is only updated by Observe() once the batch executes, so the
+  // statements already drawn this batch must be accounted for here:
+  // an index chosen as a DROP victim cannot be dropped twice, and an
+  // UPDATE drawn after a CREATE UNIQUE INDEX must already treat the new
+  // index's key columns as literal-only (the row-visit-order-independence
+  // invariant of DESIGN §9 — non-literal values on a column that *will*
+  // be unique when the UPDATE executes could make constraint decisions
+  // visit-order-dependent and diverge from real SQLite).
+  std::vector<std::string> dropped_in_batch;
+  std::vector<std::pair<std::string, std::string>> unique_cols_in_batch;
+  for (int i = 0; i < o.max_actions_per_check; ++i) {
+    double roll = rng->Unit() * (o.pivot_check_weight + mutation_total);
+    if (roll < o.pivot_check_weight) break;  // the pivot check comes up
+    roll -= o.pivot_check_weight;
+    const TableSchema* table = PickTable(rng);
+    if (roll < o.insert_weight) {
+      batch.push_back(generator_->GenerateInsertRows(*table, rng));
+      continue;
+    }
+    roll -= o.insert_weight;
+    if (roll < o.update_weight) {
+      std::vector<std::string> literal_only = LiteralOnlyColumns(*table);
+      for (const auto& [index_table, col] : unique_cols_in_batch) {
+        if (index_table == table->name) literal_only.push_back(col);
+      }
+      batch.push_back(generator_->GenerateUpdate(
+          *table, literal_only, IndexedColumns(*table), rng));
+      continue;
+    }
+    roll -= o.update_weight;
+    if (roll < o.delete_weight) {
+      batch.push_back(generator_->GenerateDelete(*table, rng));
+      continue;
+    }
+    roll -= o.delete_weight;
+    if (roll < o.create_index_weight) {
+      auto index = generator_->GenerateIndex(
+          *table, "i" + std::to_string(index_counter_++), rng);
+      if (index->unique) {
+        for (const std::string& col : index->columns) {
+          unique_cols_in_batch.emplace_back(index->table_name, col);
+        }
+      }
+      batch.push_back(std::move(index));
+      continue;
+    }
+    roll -= o.create_index_weight;
+    if (roll < o.drop_index_weight) {
+      std::vector<const LiveIndex*> droppable;
+      for (const LiveIndex& index : live_) {
+        bool gone = false;
+        for (const std::string& name : dropped_in_batch) {
+          gone |= name == index.name;
+        }
+        if (!gone) droppable.push_back(&index);
+      }
+      if (droppable.empty()) continue;  // nothing to drop this slot
+      const LiveIndex& victim = *droppable[rng->Below(droppable.size())];
+      auto drop = std::make_unique<DropIndexStmt>();
+      drop->index_name = victim.name;
+      drop->table_name = victim.table;
+      dropped_in_batch.push_back(victim.name);
+      batch.push_back(std::move(drop));
+      continue;
+    }
+    auto maintenance = std::make_unique<MaintenanceStmt>();
+    maintenance->table_name = table->name;
+    batch.push_back(std::move(maintenance));
+  }
+  return batch;
+}
+
+void ActionScheduler::Observe(const Stmt& stmt, bool applied) {
+  switch (stmt.kind()) {
+    case StmtKind::kCreateIndex: {
+      const auto& ci = static_cast<const CreateIndexStmt&>(stmt);
+      // Advance the fresh-name counter past every observed "i<N>" (setup
+      // indexes included), applied or not — a rejected name is still used.
+      if (!ci.index_name.empty() && ci.index_name[0] == 'i') {
+        int n = std::atoi(ci.index_name.c_str() + 1);
+        if (n + 1 > index_counter_) index_counter_ = n + 1;
+      }
+      if (!applied) break;
+      LiveIndex live;
+      live.name = ci.index_name;
+      live.table = ci.table_name;
+      live.columns = ci.columns;
+      live.unique = ci.unique;
+      live.where = ci.where ? ci.where->Clone() : nullptr;
+      live_.push_back(std::move(live));
+      break;
+    }
+    case StmtKind::kDropIndex: {
+      if (!applied) break;
+      const auto& di = static_cast<const DropIndexStmt&>(stmt);
+      for (size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i].name != di.index_name) continue;
+        live_.erase(live_.begin() + static_cast<long>(i));
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+ExprPtr ActionScheduler::MaybePartialIndexProbe(const std::string& table,
+                                                Rng* rng) const {
+  if (!rng->Chance(options_.partial_probe_probability)) return nullptr;
+  std::vector<const LiveIndex*> partial;
+  for (const LiveIndex& index : live_) {
+    if (index.table == table && index.where != nullptr) {
+      partial.push_back(&index);
+    }
+  }
+  if (partial.empty()) return nullptr;
+  return partial[rng->Below(partial.size())]->where->Clone();
+}
+
+}  // namespace pqs

@@ -1,0 +1,84 @@
+// Session action scheduler: drives each PQS session as a weighted
+// statement stream (DESIGN §9).
+//
+// The paper's Algorithm 1 does not query one frozen database: between
+// pivot checks it keeps mutating the state — more inserts, UPDATE/DELETE,
+// index creation and removal, maintenance statements — and re-selects the
+// pivot afterwards. The scheduler owns that stream: it draws the next
+// statement kind from the weights in GeneratorOptions, asks the Generator
+// for a concrete statement, and tracks the live index inventory (fed back
+// from the ground-truth model's accept/reject decisions) so DROP INDEX
+// always names a real index and UPDATE knows which columns sit under a
+// unique index. Every draw comes from the session's private RNG stream,
+// so scheduling is deterministic under ShardPlan sharding.
+#ifndef PQS_SRC_PQS_SCHEDULER_H_
+#define PQS_SRC_PQS_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/pqs/generator.h"
+#include "src/sqlast/ast.h"
+#include "src/sqlstmt/stmt.h"
+
+namespace pqs {
+
+class ActionScheduler {
+ public:
+  ActionScheduler(const Generator* generator, const GeneratorOptions& options,
+                  const DatabasePlan* plan);
+
+  // Mutation statements to execute before the next pivot check: keeps
+  // drawing from the weighted mix until the pivot-check action comes up,
+  // capped at options.max_actions_per_check. Empty when every mutation
+  // weight is zero.
+  std::vector<StmtPtr> NextBatch(Rng* rng);
+
+  // Bookkeeping callback for every statement executed on the ground-truth
+  // model (setup and mutations alike): `applied` is whether the model
+  // accepted it. Keeps the live index inventory in sync with reality —
+  // a rejected unique CREATE INDEX never becomes a DROP INDEX target.
+  void Observe(const Stmt& stmt, bool applied);
+
+  // Clone of a live partial-index predicate over `table`, gated on
+  // options.partial_probe_probability; null otherwise. The runner ANDs it
+  // in front of generated WHERE clauses so the partial-index scan planner
+  // is reachable.
+  ExprPtr MaybePartialIndexProbe(const std::string& table, Rng* rng) const;
+
+  // Columns of `table` the UPDATE generator must restrict to literal
+  // values: declared UNIQUE/PRIMARY KEY columns plus the key columns of
+  // every live unique index over the table (DESIGN §9 explains why this
+  // keeps constraint decisions row-order-independent).
+  std::vector<std::string> LiteralOnlyColumns(const TableSchema& table) const;
+
+  // Key and partial-predicate columns of every live index over `table`:
+  // the columns whose updates actually move index entries.
+  std::vector<std::string> IndexedColumns(const TableSchema& table) const;
+
+  size_t live_index_count() const { return live_.size(); }
+
+ private:
+  struct LiveIndex {
+    std::string name;
+    std::string table;
+    std::vector<std::string> columns;
+    bool unique = false;
+    ExprPtr where;  // clone of the partial predicate (nullable)
+  };
+
+  const TableSchema* PickTable(Rng* rng) const;
+
+  const Generator* generator_;
+  GeneratorOptions options_;
+  const DatabasePlan* plan_;
+  // Next fresh index name suffix; advanced past every observed "i<N>" so
+  // mid-session CREATE INDEX never reuses a name.
+  int index_counter_ = 0;
+  std::vector<LiveIndex> live_;
+};
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_PQS_SCHEDULER_H_

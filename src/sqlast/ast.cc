@@ -80,6 +80,61 @@ bool Expr::ContainsIsNull(bool negated_form) const {
   return false;
 }
 
+bool Expr::StructurallyEquals(const Expr& other) const {
+  if (kind != other.kind || negated != other.negated ||
+      args.size() != other.args.size()) {
+    return false;
+  }
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.cls != other.literal.cls) return false;
+      switch (literal.cls) {
+        case StorageClass::kNull:
+          break;
+        case StorageClass::kInteger:
+          if (literal.i != other.literal.i) return false;
+          break;
+        case StorageClass::kReal:
+          if (literal.r != other.literal.r) return false;
+          break;
+        case StorageClass::kText:
+          if (literal.t != other.literal.t) return false;
+          break;
+      }
+      break;
+    case ExprKind::kColumnRef:
+      if (table != other.table || column != other.column) return false;
+      break;
+    case ExprKind::kUnary:
+      if (uop != other.uop) return false;
+      break;
+    case ExprKind::kBinary:
+      if (bop != other.bop) return false;
+      break;
+    case ExprKind::kFunctionCall:
+      if (func != other.func) return false;
+      break;
+    case ExprKind::kCast:
+      if (cast_to != other.cast_to) return false;
+      break;
+    case ExprKind::kCollate:
+      if (collation != other.collation) return false;
+      break;
+    case ExprKind::kCase:
+      if (case_has_else != other.case_has_else) return false;
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if ((args[i] == nullptr) != (other.args[i] == nullptr)) return false;
+    if (args[i] != nullptr && !args[i]->StructurallyEquals(*other.args[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Expr::ContainsColumnColumnCompare() const {
   if (kind == ExprKind::kBinary && IsComparisonOp(bop) && args.size() == 2 &&
       args[0] && args[1] && args[0]->kind == ExprKind::kColumnRef &&
@@ -246,16 +301,6 @@ StmtPtr CreateTableStmt::Clone() const {
   return out;
 }
 
-StmtPtr CreateIndexStmt::Clone() const {
-  auto out = std::make_unique<CreateIndexStmt>();
-  out->index_name = index_name;
-  out->table_name = table_name;
-  out->columns = columns;
-  out->unique = unique;
-  out->where = where ? where->Clone() : nullptr;
-  return out;
-}
-
 StmtPtr InsertStmt::Clone() const {
   auto out = std::make_unique<InsertStmt>();
   out->table_name = table_name;
@@ -327,10 +372,18 @@ const char* StatementCategory(const Stmt& stmt) {
       return "CREATE TABLE";
     case StmtKind::kCreateIndex:
       return "CREATE INDEX";
+    case StmtKind::kDropIndex:
+      return "DROP INDEX";
     case StmtKind::kInsert:
       return "INSERT";
     case StmtKind::kSelect:
       return "SELECT";
+    case StmtKind::kUpdate:
+      return "UPDATE";
+    case StmtKind::kDelete:
+      return "DELETE";
+    case StmtKind::kMaintenance:
+      return "REINDEX";
   }
   return "?";
 }

@@ -104,6 +104,10 @@ struct Expr {
   ExprPtr Clone() const;
   // Height of the expression tree (a literal is 1).
   int Depth() const;
+  // Structural equality: same node kinds, flags, literals (storage class
+  // and exact value), and children. The scan planner uses this to decide
+  // whether a WHERE conjunct *is* a partial index's predicate.
+  bool StructurallyEquals(const Expr& other) const;
   bool ContainsKind(ExprKind k) const;
   bool ContainsBinaryOp(BinaryOp op) const;
   // Count of nodes matching a predicate-free structural query.
@@ -163,7 +167,16 @@ struct ColumnDef {
   bool not_null = false;
 };
 
-enum class StmtKind { kCreateTable, kCreateIndex, kInsert, kSelect };
+enum class StmtKind {
+  kCreateTable,
+  kCreateIndex,
+  kDropIndex,
+  kInsert,
+  kSelect,
+  kUpdate,
+  kDelete,
+  kMaintenance,  // REINDEX / OPTIMIZE TABLE, dialect-rendered
+};
 
 struct Stmt {
   virtual ~Stmt() = default;
@@ -181,16 +194,9 @@ struct CreateTableStmt : Stmt {
   StmtPtr Clone() const override;
 };
 
-struct CreateIndexStmt : Stmt {
-  std::string index_name;
-  std::string table_name;
-  std::vector<std::string> columns;
-  bool unique = false;
-  ExprPtr where;  // non-null ⇒ partial index
-
-  StmtKind kind() const override { return StmtKind::kCreateIndex; }
-  StmtPtr Clone() const override;
-};
+// The statement-level mutation nodes (CREATE INDEX, DROP INDEX, UPDATE,
+// DELETE, maintenance) live in src/sqlstmt/stmt.h; this header keeps the
+// Stmt base plus the original schema/data/query statements.
 
 struct InsertStmt : Stmt {
   std::string table_name;

@@ -60,11 +60,23 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
   }
   std::string sql = RenderStmt(stmt, Dialect::kSqliteFlex);
 
-  // DDL can change a cached SELECT's result shape; drop the cache rather
-  // than reason about which entries a schema change invalidates.
-  if (stmt.kind() == StmtKind::kCreateTable ||
-      stmt.kind() == StmtKind::kCreateIndex) {
-    ClearStatementCache();
+  // Statements that change the schema, the index inventory, or stored
+  // rows can invalidate a cached SELECT's plan or result shape; drop the
+  // cache rather than reason about which entries each kind invalidates.
+  // (INSERT is deliberately exempt: appended rows are visible to a reset
+  // prepared statement, and the pivot-probe pattern this cache serves
+  // interleaves with setup inserts.)
+  switch (stmt.kind()) {
+    case StmtKind::kCreateTable:
+    case StmtKind::kCreateIndex:
+    case StmtKind::kDropIndex:
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete:
+    case StmtKind::kMaintenance:
+      ClearStatementCache();
+      break;
+    default:
+      break;
   }
 
   // Prepare-once / reset-and-rerun for repeated SELECT text (the pivot

@@ -1,6 +1,7 @@
 #include "src/sqlparser/render.h"
 
 #include "src/sqlexpr/registry.h"
+#include "src/sqlstmt/stmt.h"
 
 namespace pqs {
 
@@ -162,6 +163,43 @@ std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
       out += ")";
       if (ci.where) out += " WHERE " + RenderExpr(*ci.where, dialect);
       return out;
+    }
+    case StmtKind::kDropIndex: {
+      const auto& di = static_cast<const DropIndexStmt&>(stmt);
+      // MySQL scopes the index name to its table; the others don't.
+      if (dialect == Dialect::kMysqlLike) {
+        return "DROP INDEX " + di.index_name + " ON " + di.table_name;
+      }
+      return "DROP INDEX " + di.index_name;
+    }
+    case StmtKind::kUpdate: {
+      const auto& up = static_cast<const UpdateStmt&>(stmt);
+      std::string out = "UPDATE " + up.table_name + " SET ";
+      for (size_t i = 0; i < up.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += up.assignments[i].column + " = " +
+               RenderExpr(*up.assignments[i].value, dialect);
+      }
+      if (up.where) out += " WHERE " + RenderExpr(*up.where, dialect);
+      return out;
+    }
+    case StmtKind::kDelete: {
+      const auto& del = static_cast<const DeleteStmt&>(stmt);
+      std::string out = "DELETE FROM " + del.table_name;
+      if (del.where) out += " WHERE " + RenderExpr(*del.where, dialect);
+      return out;
+    }
+    case StmtKind::kMaintenance: {
+      const auto& m = static_cast<const MaintenanceStmt&>(stmt);
+      switch (dialect) {
+        case Dialect::kSqliteFlex:
+          return "REINDEX " + m.table_name;
+        case Dialect::kMysqlLike:
+          return "OPTIMIZE TABLE " + m.table_name;
+        case Dialect::kPostgresStrict:
+          return "REINDEX TABLE " + m.table_name;
+      }
+      return "REINDEX " + m.table_name;
     }
     case StmtKind::kInsert: {
       const auto& ins = static_cast<const InsertStmt&>(stmt);

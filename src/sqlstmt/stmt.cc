@@ -1,0 +1,51 @@
+#include "src/sqlstmt/stmt.h"
+
+#include <memory>
+
+namespace pqs {
+
+StmtPtr CreateIndexStmt::Clone() const {
+  auto out = std::make_unique<CreateIndexStmt>();
+  out->index_name = index_name;
+  out->table_name = table_name;
+  out->columns = columns;
+  out->unique = unique;
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+StmtPtr DropIndexStmt::Clone() const {
+  auto out = std::make_unique<DropIndexStmt>();
+  out->index_name = index_name;
+  out->table_name = table_name;
+  return out;
+}
+
+StmtPtr UpdateStmt::Clone() const {
+  auto out = std::make_unique<UpdateStmt>();
+  out->table_name = table_name;
+  out->assignments.reserve(assignments.size());
+  for (const Assignment& a : assignments) {
+    Assignment copy;
+    copy.column = a.column;
+    copy.value = a.value ? a.value->Clone() : nullptr;
+    out->assignments.push_back(std::move(copy));
+  }
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+StmtPtr DeleteStmt::Clone() const {
+  auto out = std::make_unique<DeleteStmt>();
+  out->table_name = table_name;
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+StmtPtr MaintenanceStmt::Clone() const {
+  auto out = std::make_unique<MaintenanceStmt>();
+  out->table_name = table_name;
+  return out;
+}
+
+}  // namespace pqs

@@ -62,6 +62,13 @@ void TestSameSeedSameReport() {
            b.stats.predicates_with_function);
   CHECK_EQ(a.stats.function_calls_generated,
            b.stats.function_calls_generated);
+  CHECK_EQ(a.stats.actions_insert, b.stats.actions_insert);
+  CHECK_EQ(a.stats.actions_update, b.stats.actions_update);
+  CHECK_EQ(a.stats.actions_delete, b.stats.actions_delete);
+  CHECK_EQ(a.stats.actions_create_index, b.stats.actions_create_index);
+  CHECK_EQ(a.stats.actions_drop_index, b.stats.actions_drop_index);
+  CHECK_EQ(a.stats.actions_maintenance, b.stats.actions_maintenance);
+  CHECK_EQ(a.stats.state_compares, b.stats.state_compares);
   CHECK_EQ(a.findings.size(), b.findings.size());
   for (size_t i = 0; i < a.findings.size() && i < b.findings.size(); ++i) {
     CHECK_EQ(RenderScript(a.findings[i].statements, Dialect::kSqliteFlex),
@@ -75,11 +82,13 @@ void TestSameSeedSameReport() {
 // without stop_on_first_finding (where the merge truncates at the first
 // finding-bearing database, just as the sequential loop returns there).
 void TestShardedRunnerMatchesSequential() {
-  // A scan-path bug, a join-path bug, and an expression-subsystem bug: the
-  // sharding guarantee must hold for campaigns exercising the widened
-  // query space and the typed expression grammar alike.
+  // A scan-path bug, a join-path bug, an expression-subsystem bug, and an
+  // index-maintenance bug: the sharding guarantee must hold for campaigns
+  // exercising the widened query space, the typed expression grammar, and
+  // the mutating statement stream alike.
   for (BugId bug : {BugId::kPartialIndexIsNotInference,
-                    BugId::kJoinDupRightMatch, BugId::kLikeEscapeMiss}) {
+                    BugId::kJoinDupRightMatch, BugId::kLikeEscapeMiss,
+                    BugId::kUpdateIndexStale}) {
     for (bool stop_on_first : {false, true}) {
       RunReport sequential = BuggyRun(123, /*workers=*/1, stop_on_first, bug);
       for (int workers : {2, 4}) {
@@ -112,6 +121,20 @@ void TestShardedRunnerMatchesSequential() {
                  sequential.stats.predicates_with_function);
         CHECK_EQ(sharded.stats.function_calls_generated,
                  sequential.stats.function_calls_generated);
+        CHECK_EQ(sharded.stats.actions_insert,
+                 sequential.stats.actions_insert);
+        CHECK_EQ(sharded.stats.actions_update,
+                 sequential.stats.actions_update);
+        CHECK_EQ(sharded.stats.actions_delete,
+                 sequential.stats.actions_delete);
+        CHECK_EQ(sharded.stats.actions_create_index,
+                 sequential.stats.actions_create_index);
+        CHECK_EQ(sharded.stats.actions_drop_index,
+                 sequential.stats.actions_drop_index);
+        CHECK_EQ(sharded.stats.actions_maintenance,
+                 sequential.stats.actions_maintenance);
+        CHECK_EQ(sharded.stats.state_compares,
+                 sequential.stats.state_compares);
         CHECK_EQ(sharded.findings.size(), sequential.findings.size());
         for (size_t i = 0;
              i < sharded.findings.size() && i < sequential.findings.size();

@@ -545,6 +545,118 @@ std::vector<StmtPtr> BuildCorpus() {
       MakeTextLiteral("zz"));
   corpus.push_back(std::move(q33));
 
+  // --- Statement-level mutation engine (PR 5): UPDATE / DELETE /
+  // --- DROP INDEX / maintenance, with follow-up queries probing the
+  // --- mutated state through the index-scan paths. The mutations sit
+  // --- after Q1-Q33 so those keep querying the pristine data. ------------
+
+  // The SQLite PRIMARY KEY quirk, replayed differentially: a non-INTEGER
+  // ("INT") PK column without NOT NULL admits a NULL row.
+  auto t4 = std::make_unique<CreateTableStmt>();
+  t4->table_name = "t4";
+  t4->columns = {Column("c7", Affinity::kInteger),
+                 Column("c8", Affinity::kText)};
+  t4->columns[0].primary_key = true;
+  corpus.push_back(std::move(t4));
+
+  auto ins4 = std::make_unique<InsertStmt>();
+  ins4->table_name = "t4";
+  for (int r = 0; r < 2; ++r) {
+    ins4->rows.emplace_back();
+    ins4->rows.back().push_back(r == 0 ? MakeNullLiteral()
+                                       : MakeIntLiteral(41));
+    ins4->rows.back().push_back(MakeTextLiteral(r == 0 ? "pk-null" : "pk"));
+  }
+  corpus.push_back(std::move(ins4));
+
+  // M1: single-assignment UPDATE with a WHERE over the partial-index
+  // column.
+  auto m1 = std::make_unique<UpdateStmt>();
+  m1->table_name = "t1";
+  {
+    UpdateStmt::Assignment a;
+    a.column = "c3";
+    a.value = MakeBinary(BinaryOp::kAdd, MakeColumnRef("t1", "c3"),
+                         MakeRealLiteral(1.5));
+    m1->assignments.push_back(std::move(a));
+  }
+  m1->where = MakeIsNull(MakeColumnRef("t1", "c2"), /*negated=*/true);
+  corpus.push_back(std::move(m1));
+
+  // M2: multi-assignment UPDATE — both values read the pre-update row.
+  auto m2 = std::make_unique<UpdateStmt>();
+  m2->table_name = "t0";
+  {
+    UpdateStmt::Assignment a;
+    a.column = "c0";
+    a.value = MakeBinary(BinaryOp::kAdd, MakeColumnRef("t0", "c0"),
+                         MakeIntLiteral(10));
+    m2->assignments.push_back(std::move(a));
+    UpdateStmt::Assignment b;
+    b.column = "c1";
+    b.value = MakeBinary(BinaryOp::kConcat, MakeColumnRef("t0", "c1"),
+                         MakeTextLiteral("q"));
+    m2->assignments.push_back(std::move(b));
+  }
+  m2->where = MakeBinary(BinaryOp::kGe, MakeColumnRef("t0", "c0"),
+                         MakeIntLiteral(2));
+  corpus.push_back(std::move(m2));
+
+  // M3: UPDATE without a WHERE (every row).
+  auto m3 = std::make_unique<UpdateStmt>();
+  m3->table_name = "t2";
+  {
+    UpdateStmt::Assignment a;
+    a.column = "c4";
+    a.value = MakeTextLiteral("ab");
+    m3->assignments.push_back(std::move(a));
+  }
+  corpus.push_back(std::move(m3));
+
+  // Q34: partial-index probe — the WHERE carries i0's predicate verbatim
+  // as a conjunct, so MiniDB answers it through the partial index.
+  auto q34 = std::make_unique<SelectStmt>();
+  q34->from_tables = {"t1"};
+  q34->where = MakeBinary(
+      BinaryOp::kAnd,
+      MakeIsNull(MakeColumnRef("t1", "c2"), /*negated=*/true),
+      MakeBinary(BinaryOp::kGt, MakeColumnRef("t1", "c3"),
+                 MakeRealLiteral(1.0)));
+  corpus.push_back(std::move(q34));
+
+  // M4: DELETE with a WHERE.
+  auto m4 = std::make_unique<DeleteStmt>();
+  m4->table_name = "t1";
+  m4->where = MakeIsNull(MakeColumnRef("t1", "c2"), /*negated=*/false);
+  corpus.push_back(std::move(m4));
+
+  // M5: maintenance rebuild — REINDEX t1 / OPTIMIZE TABLE t1 / REINDEX
+  // TABLE t1 per dialect.
+  auto m5 = std::make_unique<MaintenanceStmt>();
+  m5->table_name = "t1";
+  corpus.push_back(std::move(m5));
+
+  // M6: DROP INDEX (MySQL spells the table, the others don't).
+  auto m6 = std::make_unique<DropIndexStmt>();
+  m6->index_name = "i0";
+  m6->table_name = "t1";
+  corpus.push_back(std::move(m6));
+
+  // Q35: index probe over the unique two-column index i1 after mutation.
+  auto q35 = std::make_unique<SelectStmt>();
+  q35->from_tables = {"t3"};
+  q35->where = MakeBinary(BinaryOp::kGt, MakeColumnRef("t3", "c5"),
+                          MakeIntLiteral(9));
+  corpus.push_back(std::move(q35));
+
+  // Q36-Q39: whole-table fetches — the mutated end state must match the
+  // model row-for-row (the runner's state-compare shape).
+  for (const char* table : {"t0", "t1", "t2", "t4"}) {
+    auto fetch = std::make_unique<SelectStmt>();
+    fetch->from_tables = {table};
+    corpus.push_back(std::move(fetch));
+  }
+
   return corpus;
 }
 
@@ -564,28 +676,9 @@ void TestGoldenRendering() {
                     rendered);
 }
 
-bool RowLess(const std::vector<SqlValue>& a, const std::vector<SqlValue>& b) {
-  if (a.size() != b.size()) return a.size() < b.size();
-  for (size_t i = 0; i < a.size(); ++i) {
-    int c = ValueCompare(a[i], b[i]);
-    if (c != 0) return c < 0;
-  }
-  return false;
-}
-
-bool SameRowMultiset(std::vector<std::vector<SqlValue>> a,
-                     std::vector<std::vector<SqlValue>> b) {
-  if (a.size() != b.size()) return false;
-  std::sort(a.begin(), a.end(), RowLess);
-  std::sort(b.begin(), b.end(), RowLess);
-  for (size_t r = 0; r < a.size(); ++r) {
-    if (a[r].size() != b[r].size()) return false;
-    for (size_t c = 0; c < a[r].size(); ++c) {
-      if (!ValueEquals(a[r][c], b[r][c])) return false;
-    }
-  }
-  return true;
-}
+// Row-multiset comparison comes from the shared interp helper
+// (pqs::SameRowMultiset), the same code the runner's mutation state
+// compare uses.
 
 void TestCorpusReplaysThroughRealSqlite() {
   if (!SqliteConnection::Available()) {

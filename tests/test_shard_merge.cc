@@ -70,6 +70,13 @@ void TestRunStatsMerge() {
   shard1.predicate_depth_buckets[2] = 1;
   shard1.predicates_with_function = 3;
   shard1.function_calls_generated = 5;
+  shard1.actions_insert = 4;
+  shard1.actions_update = 3;
+  shard1.actions_delete = 2;
+  shard1.actions_create_index = 1;
+  shard1.actions_drop_index = 1;
+  shard1.actions_maintenance = 2;
+  shard1.state_compares = 6;
   RunStats shard2;
   shard2.statements_executed = 7;
   shard2.queries_checked = 2;
@@ -81,6 +88,10 @@ void TestRunStatsMerge() {
   shard2.predicate_depth_buckets[4] = 2;
   shard2.predicates_with_function = 1;
   shard2.function_calls_generated = 1;
+  shard2.actions_insert = 1;
+  shard2.actions_update = 2;
+  shard2.actions_maintenance = 1;
+  shard2.state_compares = 3;
   total.Merge(shard1);
   total.Merge(shard2);
   CHECK_EQ(total.statements_executed, uint64_t{17});
@@ -98,6 +109,13 @@ void TestRunStatsMerge() {
   CHECK_EQ(total.predicate_depth_buckets[4], uint64_t{2});
   CHECK_EQ(total.predicates_with_function, uint64_t{4});
   CHECK_EQ(total.function_calls_generated, uint64_t{6});
+  CHECK_EQ(total.actions_insert, uint64_t{5});
+  CHECK_EQ(total.actions_update, uint64_t{5});
+  CHECK_EQ(total.actions_delete, uint64_t{2});
+  CHECK_EQ(total.actions_create_index, uint64_t{1});
+  CHECK_EQ(total.actions_drop_index, uint64_t{1});
+  CHECK_EQ(total.actions_maintenance, uint64_t{3});
+  CHECK_EQ(total.state_compares, uint64_t{9});
 }
 
 void TestCoverageMapMerge() {
