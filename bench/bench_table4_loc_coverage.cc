@@ -59,9 +59,9 @@ size_t CountDirLoc(const std::string& dir) {
 void PrintTable4() {
   bench::PrintHeader("Table 4a: component sizes (LOC of this repository)");
   const char* modules[] = {"common",   "sqlvalue",  "sqlast",
-                           "sqlstmt",  "sqlexpr",   "interp",
-                           "minidb",   "engine",    "sqlparser",
-                           "sqlite3db", "pqs"};
+                           "sqlstmt",  "sqlexpr",   "sqlmeta",
+                           "interp",   "minidb",    "engine",
+                           "sqlparser", "sqlite3db", "pqs"};
   size_t total = 0;
   for (const char* m : modules) {
     size_t loc = CountDirLoc(std::string("src/") + m);

@@ -80,6 +80,19 @@ enum class BugId : uint32_t {
   kReindexPartialError,    // REINDEX of a table with a partial index →
                            // spurious "could not reindex" error
 
+  // --- Aggregation / grouping pipeline (metamorphic-oracle targets),
+  // --- spread across the dialect flavors. Containment has no pivot row
+  // --- once rows are grouped, so only NoREC/TLP can see these. ----------
+  kAggEmptyGroupZero,      // SUM/MIN/MAX over empty input → 0 instead of
+                           // NULL
+  kSumOverflowWrap,        // integer SUM wraps in a too-narrow register
+  kAvgIntegerDiv,          // all-integer AVG truncates (integer division)
+  kCountDistinctDup,       // COUNT(DISTINCT e) counts duplicates
+  kHavingBeforeGroup,      // HAVING aggregates see only the group's first
+                           // row (evaluated before grouping finishes)
+  kTlpNullPartitionDrop,   // aggregate query with top-level IS NULL WHERE
+                           // drops every matching row
+
   kNumBugs,
 };
 

@@ -764,6 +764,11 @@ EvalResult Evaluate(const Expr& expr, const RowView& row,
       // The COLLATE operator changes how an enclosing comparison orders
       // text (see ExplicitCollation); the value itself passes through.
       return Evaluate(*expr.args[0], row, ctx);
+
+    case ExprKind::kAggregate:
+      // Aggregates never reach the scalar evaluator: AggregateSelect
+      // substitutes them with their computed values first.
+      return EvalResult::Error("aggregate function in scalar context");
   }
   return EvalResult::Error("unknown expression kind");
 }
@@ -955,6 +960,295 @@ void ApplyLimit(int64_t limit, bool ordered, const EvalContext& ctx,
     return;
   }
   if (rows->size() > n) rows->resize(n);
+}
+
+// ---------------------------------------------------------------------------
+// Grouping / aggregation core
+// ---------------------------------------------------------------------------
+
+bool AggAccumulator::Add(const SqlValue& v, std::string* error) {
+  ++rows_seen_;
+  if (v.is_null()) return true;
+  ++non_null_;
+  if (distinct_) {
+    for (const SqlValue& s : seen_) {
+      if (ValueEquals(s, v)) return true;
+    }
+    seen_.push_back(v);
+  }
+  ++distinct_seen_;
+  switch (func_) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (v.cls == StorageClass::kText) {
+        if (ctx_.dialect == Dialect::kPostgresStrict) {
+          if (error != nullptr) {
+            *error = std::string("function ") + AggFuncName(func_) +
+                     "(text) does not exist";
+          }
+          return false;
+        }
+        // Flexible dialects coerce by numeric prefix, as sqlite's sumStep
+        // does, and the result becomes approximate (REAL).
+        approx_ = true;
+        real_sum_ += ParseNumericPrefix(v.t);
+      } else if (v.cls == StorageClass::kInteger && !approx_) {
+        // Wrap-safe addition; the real accumulator shadows the integer one
+        // so a later REAL operand can take over seamlessly.
+        int_sum_ = static_cast<int64_t>(static_cast<uint64_t>(int_sum_) +
+                                        static_cast<uint64_t>(v.i));
+        real_sum_ += static_cast<double>(v.i);
+      } else {
+        approx_ = approx_ || v.cls == StorageClass::kReal;
+        real_sum_ += v.AsReal();
+      }
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (extreme_.is_null()) {
+        extreme_ = v;
+      } else {
+        int c = ValueCompare(v, extreme_);
+        if ((func_ == AggFunc::kMin && c < 0) ||
+            (func_ == AggFunc::kMax && c > 0)) {
+          extreme_ = v;
+        }
+      }
+      break;
+    case AggFunc::kNumAggFuncs:
+      break;
+  }
+  return true;
+}
+
+SqlValue AggAccumulator::Final() const {
+  // Injected (sqlite): SUM/MIN/MAX over an empty input return 0 where SQL
+  // says NULL (COUNT legitimately returns 0, so it stays exempt).
+  if (ctx_.BugEnabled(BugId::kAggEmptyGroupZero) && rows_seen_ == 0 &&
+      (func_ == AggFunc::kSum || func_ == AggFunc::kMin ||
+       func_ == AggFunc::kMax)) {
+    return SqlValue::Int(0);
+  }
+  switch (func_) {
+    case AggFunc::kCount:
+      // Injected (mysql): COUNT(DISTINCT e) forgets the DISTINCT and
+      // counts every non-NULL operand.
+      if (distinct_ && ctx_.BugEnabled(BugId::kCountDistinctDup)) {
+        return SqlValue::Int(static_cast<int64_t>(non_null_));
+      }
+      // Exactly one feeding mode is used per accumulator: AddRow for
+      // COUNT(*), Add for COUNT(e).
+      return SqlValue::Int(static_cast<int64_t>(star_rows_ + distinct_seen_));
+    case AggFunc::kSum: {
+      if (distinct_seen_ == 0) return SqlValue::Null();
+      if (approx_) return SqlValue::Real(real_sum_);
+      int64_t s = int_sum_;
+      // Injected (sqlite): the integer SUM accumulator wraps at a toy
+      // width, as if summed in a too-narrow register.
+      if (ctx_.BugEnabled(BugId::kSumOverflowWrap)) {
+        while (s > 25) s -= 51;
+        while (s < -25) s += 51;
+      }
+      return SqlValue::Int(s);
+    }
+    case AggFunc::kAvg:
+      if (distinct_seen_ == 0) return SqlValue::Null();
+      // Injected (mysql): all-integer AVG truncates to integer division
+      // instead of promoting to REAL.
+      if (!approx_ && ctx_.BugEnabled(BugId::kAvgIntegerDiv)) {
+        return SqlValue::Int(int_sum_ / static_cast<int64_t>(distinct_seen_));
+      }
+      return SqlValue::Real(real_sum_ / static_cast<double>(distinct_seen_));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return extreme_;
+    case AggFunc::kNumAggFuncs:
+      break;
+  }
+  return SqlValue::Null();
+}
+
+void CollectAggregates(const Expr& e, std::vector<const Expr*>* nodes) {
+  if (e.kind == ExprKind::kAggregate) {
+    for (const Expr* n : *nodes) {
+      if (n->StructurallyEquals(e)) return;
+    }
+    nodes->push_back(&e);
+    return;  // aggregates don't nest in this query space
+  }
+  for (const ExprPtr& a : e.args) {
+    if (a) CollectAggregates(*a, nodes);
+  }
+}
+
+ExprPtr SubstituteAggregates(const Expr& e,
+                             const std::vector<const Expr*>& nodes,
+                             const std::vector<SqlValue>& values) {
+  if (e.kind == ExprKind::kAggregate) {
+    for (size_t i = 0; i < nodes.size() && i < values.size(); ++i) {
+      if (nodes[i]->StructurallyEquals(e)) return MakeLiteral(values[i]);
+    }
+    return MakeNullLiteral();  // unreachable when `nodes` covers e
+  }
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->table = e.table;
+  out->column = e.column;
+  out->uop = e.uop;
+  out->bop = e.bop;
+  out->negated = e.negated;
+  out->func = e.func;
+  out->cast_to = e.cast_to;
+  out->collation = e.collation;
+  out->case_has_else = e.case_has_else;
+  out->args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) {
+    out->args.push_back(a ? SubstituteAggregates(*a, nodes, values) : nullptr);
+  }
+  return out;
+}
+
+bool AggregateSelect(const SelectStmt& stmt, const RowSchema& schema,
+                     const std::vector<std::vector<SqlValue>>& input_rows,
+                     const EvalContext& ctx,
+                     std::vector<std::vector<SqlValue>>* out_rows,
+                     std::string* error) {
+  out_rows->clear();
+  if (stmt.select_list.empty()) {
+    if (error != nullptr) {
+      *error = "aggregate query requires an explicit select list";
+    }
+    return false;
+  }
+
+  // Group the input rows. No GROUP BY ⇒ one global group, which exists even
+  // over empty input (SELECT COUNT(*) on an empty table is one row).
+  std::vector<std::vector<SqlValue>> group_keys;
+  std::vector<std::vector<size_t>> group_rows;
+  if (stmt.group_by.empty()) {
+    group_keys.emplace_back();
+    group_rows.emplace_back();
+    for (size_t i = 0; i < input_rows.size(); ++i) {
+      group_rows[0].push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < input_rows.size(); ++i) {
+      RowView view{&schema, &input_rows[i]};
+      std::vector<SqlValue> key;
+      key.reserve(stmt.group_by.size());
+      for (const ExprPtr& g : stmt.group_by) {
+        if (g == nullptr) {
+          if (error != nullptr) *error = "GROUP BY without key expression";
+          return false;
+        }
+        EvalResult r = Evaluate(*g, view, ctx);
+        if (r.error) {
+          if (error != nullptr) *error = r.message;
+          return false;
+        }
+        key.push_back(std::move(r.value));
+      }
+      // GROUP BY key equality: NULL keys group together and INTEGER/REAL
+      // keys group numerically, matching real engines' grouping compare.
+      size_t slot = group_keys.size();
+      for (size_t k = 0; k < group_keys.size(); ++k) {
+        bool same = true;
+        for (size_t c = 0; c < key.size(); ++c) {
+          if (ValueCompare(group_keys[k][c], key[c]) != 0) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          slot = k;
+          break;
+        }
+      }
+      if (slot == group_keys.size()) {
+        group_keys.push_back(std::move(key));
+        group_rows.emplace_back();
+      }
+      group_rows[slot].push_back(i);
+    }
+  }
+
+  // Unique aggregate nodes across the select list and HAVING; each is
+  // computed once per group and substituted wherever it appears.
+  std::vector<const Expr*> agg_nodes;
+  for (const ExprPtr& e : stmt.select_list) {
+    if (e) CollectAggregates(*e, &agg_nodes);
+  }
+  if (stmt.having) CollectAggregates(*stmt.having, &agg_nodes);
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    auto compute = [&](const std::vector<size_t>& members,
+                       std::vector<SqlValue>* out_vals) -> bool {
+      for (const Expr* node : agg_nodes) {
+        AggAccumulator acc(node->agg, node->agg_distinct, ctx);
+        for (size_t ri : members) {
+          if (node->agg_star) {
+            acc.AddRow();
+            continue;
+          }
+          RowView view{&schema, &input_rows[ri]};
+          EvalResult r = Evaluate(*node->args[0], view, ctx);
+          if (r.error) {
+            if (error != nullptr) *error = r.message;
+            return false;
+          }
+          if (!acc.Add(r.value, error)) return false;
+        }
+        out_vals->push_back(acc.Final());
+      }
+      return true;
+    };
+    std::vector<SqlValue> agg_values;
+    if (!compute(group_rows[g], &agg_values)) return false;
+
+    // Representative row for non-aggregate references (the group keys):
+    // the group's first row in scan order, matching what real engines
+    // surface for a bare grouped column.
+    const std::vector<SqlValue>* rep_values =
+        group_rows[g].empty() ? nullptr : &input_rows[group_rows[g][0]];
+    RowView rep_view{&schema, rep_values};
+
+    if (stmt.having != nullptr) {
+      std::vector<SqlValue> having_values = agg_values;
+      // Injected (postgres): HAVING is evaluated before grouping finishes —
+      // its aggregates only ever see the group's first row.
+      if (ctx.BugEnabled(BugId::kHavingBeforeGroup) &&
+          group_rows[g].size() > 1) {
+        having_values.clear();
+        std::vector<size_t> first_only(1, group_rows[g][0]);
+        if (!compute(first_only, &having_values)) return false;
+      }
+      ExprPtr hav =
+          SubstituteAggregates(*stmt.having, agg_nodes, having_values);
+      EvalResult r = Evaluate(*hav, rep_view, ctx);
+      if (r.error) {
+        if (error != nullptr) *error = r.message;
+        return false;
+      }
+      if (Truthiness(r.value, ctx.dialect) != Bool3::kTrue) continue;
+    }
+
+    std::vector<SqlValue> out_row;
+    out_row.reserve(stmt.select_list.size());
+    for (const ExprPtr& item : stmt.select_list) {
+      ExprPtr sub = SubstituteAggregates(*item, agg_nodes, agg_values);
+      EvalResult r = Evaluate(*sub, rep_view, ctx);
+      if (r.error) {
+        if (error != nullptr) *error = r.message;
+        return false;
+      }
+      out_row.push_back(std::move(r.value));
+    }
+    out_rows->push_back(std::move(out_row));
+  }
+  return true;
 }
 
 bool SameRowMultiset(const std::vector<std::vector<SqlValue>>& a,

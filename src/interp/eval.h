@@ -149,6 +149,76 @@ bool SortIndexesByOrder(const RowSchema& schema,
 void ApplyLimit(int64_t limit, bool ordered, const EvalContext& ctx,
                 std::vector<std::vector<SqlValue>>* rows);
 
+// ---------------------------------------------------------------------------
+// Grouping / aggregation core (GROUP BY, HAVING, COUNT/SUM/AVG/MIN/MAX)
+// ---------------------------------------------------------------------------
+// One shared implementation of aggregate semantics, mirroring real SQLite:
+// SUM skips NULLs, stays INTEGER over all-integer input and switches to REAL
+// once any REAL (or, in the flexible dialects, TEXT coerced by numeric
+// prefix) operand appears; SUM over no non-NULL input is NULL; AVG is always
+// REAL; MIN/MAX use the NULL < numeric < TEXT ValueCompare order and skip
+// NULLs; COUNT(DISTINCT e) dedups with ValueEquals (1 and 1.0 collide).
+// MiniDB's executor runs it with its BugConfig; the runner's ground truth
+// and the TLP oracle's partition recombination run it with a clean context,
+// which is what makes a recombination mismatch evidence of an engine bug
+// rather than of oracle-side arithmetic drift.
+
+class AggAccumulator {
+ public:
+  AggAccumulator(AggFunc func, bool distinct, const EvalContext& ctx)
+      : func_(func), distinct_(distinct), ctx_(ctx) {}
+
+  // Feed one operand value (or one row, for COUNT(*), via AddRow). Returns
+  // false and fills *error when the dialect rejects the operand (strict
+  // dialect: SUM/AVG over TEXT).
+  bool Add(const SqlValue& v, std::string* error);
+  void AddRow() {
+    ++rows_seen_;
+    ++star_rows_;
+  }
+
+  // Final aggregate value; applies the aggregate bug hooks gated on the
+  // context's BugConfig.
+  SqlValue Final() const;
+
+ private:
+  AggFunc func_;
+  bool distinct_;
+  const EvalContext& ctx_;
+  uint64_t rows_seen_ = 0;     // inputs fed (Add or AddRow)
+  uint64_t star_rows_ = 0;     // AddRow calls (COUNT(*))
+  uint64_t non_null_ = 0;      // non-NULL operands fed (pre-DISTINCT)
+  uint64_t distinct_seen_ = 0; // distinct non-NULL operands accumulated
+  bool approx_ = false;        // some operand forced REAL accumulation
+  int64_t int_sum_ = 0;
+  double real_sum_ = 0.0;
+  SqlValue extreme_;           // running MIN/MAX (NULL = none yet)
+  std::vector<SqlValue> seen_; // DISTINCT dedup set
+};
+
+// Full grouping pipeline over the post-WHERE input rows of a SELECT with
+// aggregates: groups by stmt.group_by (no GROUP BY ⇒ one global group, which
+// exists even over empty input), computes every aggregate node of the select
+// list and HAVING per group via AggAccumulator, applies HAVING, and emits
+// one output row per surviving group in first-seen group order. Returns
+// false and fills *error on an evaluation error or unsupported shape.
+bool AggregateSelect(const SelectStmt& stmt, const RowSchema& schema,
+                     const std::vector<std::vector<SqlValue>>& input_rows,
+                     const EvalContext& ctx,
+                     std::vector<std::vector<SqlValue>>* out_rows,
+                     std::string* error);
+
+// Clone of `e` with every kAggregate subtree replaced by a literal: node
+// `nodes[i]` (matched by StructurallyEquals) becomes `values[i]`. Shared by
+// AggregateSelect and the TLP oracle's recombined-HAVING evaluation.
+ExprPtr SubstituteAggregates(const Expr& e,
+                             const std::vector<const Expr*>& nodes,
+                             const std::vector<SqlValue>& values);
+
+// Appends every distinct (by StructurallyEquals) kAggregate subtree of `e`
+// to *nodes, in discovery order.
+void CollectAggregates(const Expr& e, std::vector<const Expr*>* nodes);
+
 // Multiset equality of two materialized rowsets (row order is
 // engine-defined and may legitimately differ): same row count and a
 // ValueEquals-identical pairing. Used by the runner's ground-truth state

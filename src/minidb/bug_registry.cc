@@ -126,6 +126,25 @@ const std::vector<BugInfo>& BuildRegistry() {
       {BugId::kReindexPartialError, "reindex-partial-error",
        Dialect::kPostgresStrict, OracleKind::kError,
        ReportOutcome::kIntended},
+
+      // Aggregation / grouping pipeline: 2 SQLite, 2 MySQL, 2 PostgreSQL.
+      // Containment is structurally blind here (no pivot row survives
+      // grouping); TLP's partition recombination is the intended finder
+      // for all six, with NoREC occasionally co-detecting the ones that
+      // alter COUNT-visible row flow.
+      {BugId::kAggEmptyGroupZero, "agg-empty-group-zero",
+       Dialect::kSqliteFlex, OracleKind::kTlp, ReportOutcome::kFixed},
+      {BugId::kSumOverflowWrap, "sum-overflow-wrap", Dialect::kSqliteFlex,
+       OracleKind::kTlp, ReportOutcome::kFixed},
+      {BugId::kAvgIntegerDiv, "avg-integer-div", Dialect::kMysqlLike,
+       OracleKind::kTlp, ReportOutcome::kVerified},
+      {BugId::kCountDistinctDup, "count-distinct-dup", Dialect::kMysqlLike,
+       OracleKind::kTlp, ReportOutcome::kFixed},
+      {BugId::kHavingBeforeGroup, "having-before-group",
+       Dialect::kPostgresStrict, OracleKind::kTlp, ReportOutcome::kFixed},
+      {BugId::kTlpNullPartitionDrop, "tlp-null-partition-drop",
+       Dialect::kPostgresStrict, OracleKind::kTlp,
+       ReportOutcome::kVerified},
   };
   return registry;
 }

@@ -64,6 +64,11 @@ const char* FeatureName(Feature f) {
     case Feature::kMaintenance: return "maintenance-rebuild";
     case Feature::kIndexScan: return "index-scan";
     case Feature::kPartialIndexScan: return "partial-index-scan";
+    case Feature::kExprAggregate: return "expr-aggregate";
+    case Feature::kSelectGroupBy: return "select-group-by";
+    case Feature::kSelectHaving: return "select-having";
+    case Feature::kAggregateDistinct: return "aggregate-distinct";
+    case Feature::kAggregateEmptyInput: return "aggregate-empty-input";
     case Feature::kFeatureCount: break;
   }
   return "?";

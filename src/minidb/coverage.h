@@ -78,6 +78,12 @@ enum class Feature : size_t {
   kMaintenance,           // REINDEX / OPTIMIZE TABLE rebuild
   kIndexScan,             // SELECT answered through a secondary index
   kPartialIndexScan,      // ...through a *partial* index
+  // Aggregation / grouping pipeline.
+  kExprAggregate,         // COUNT/SUM/AVG/MIN/MAX call in a SELECT
+  kSelectGroupBy,
+  kSelectHaving,
+  kAggregateDistinct,     // COUNT(DISTINCT e) and friends
+  kAggregateEmptyInput,   // global aggregate over zero input rows
 
   kFeatureCount,
 };

@@ -821,6 +821,10 @@ void Database::MarkExprFeatures(const Expr& expr) {
     case ExprKind::kCollate:
       Mark(Feature::kExprCollate);
       break;
+    case ExprKind::kAggregate:
+      Mark(Feature::kExprAggregate);
+      if (expr.agg_distinct) Mark(Feature::kAggregateDistinct);
+      break;
   }
   for (const ExprPtr& a : expr.args) {
     if (a != nullptr) MarkExprFeatures(*a);
@@ -836,6 +840,20 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     return StatementResult::Failure(
         StatementStatus::kError,
         "explicit joins require a single base table");
+  }
+  const bool has_agg = stmt.HasAggregates();
+  if (has_agg) {
+    if (stmt.select_list.empty()) {
+      return StatementResult::Failure(
+          StatementStatus::kError,
+          "aggregate query requires an explicit select list");
+    }
+    if (stmt.distinct || !stmt.order_by.empty() || stmt.limit >= 0) {
+      return StatementResult::Failure(
+          StatementStatus::kError,
+          "DISTINCT/ORDER BY/LIMIT on an aggregate query is outside the "
+          "modeled query space");
+    }
   }
   std::vector<TableData*> from;
   for (const std::string& name : stmt.AllTables()) {
@@ -874,6 +892,14 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
   for (const ExprPtr& e : stmt.select_list) {
     if (e != nullptr) MarkExprFeatures(*e);
+  }
+  if (!stmt.group_by.empty()) Mark(Feature::kSelectGroupBy);
+  for (const ExprPtr& g : stmt.group_by) {
+    if (g != nullptr) MarkExprFeatures(*g);
+  }
+  if (stmt.having != nullptr) {
+    Mark(Feature::kSelectHaving);
+    MarkExprFeatures(*stmt.having);
   }
   if (coverage_ != nullptr && stmt.where != nullptr) {
     std::vector<std::pair<std::string, Affinity>> column_affinity;
@@ -1027,6 +1053,15 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   // unordered queries never need it.
   bool need_kept = !stmt.order_by.empty();
   std::vector<std::vector<SqlValue>> kept;
+  // Aggregate queries route the surviving rows into the shared grouping
+  // core instead of the per-row projection below.
+  std::vector<std::vector<SqlValue>> agg_input;
+  // Injected: an aggregate query whose WHERE is a bare top-level IS NULL
+  // loses every matching row — exactly the shape of TLP's third partition.
+  const bool tlp_null_drop =
+      has_agg && BugOn(BugId::kTlpNullPartitionDrop) &&
+      stmt.where != nullptr && stmt.where->kind == ExprKind::kIsNull &&
+      !stmt.where->negated;
   size_t scan_count = used_index ? index_positions.size() : scan_rows->size();
   for (size_t scan_i = 0; scan_i < scan_count; ++scan_i) {
     const std::vector<SqlValue>& combined =
@@ -1102,7 +1137,13 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
       }
     }
 
+    if (keep && tlp_null_drop) keep = false;
+
     if (!keep) continue;
+    if (has_agg) {
+      agg_input.push_back(combined);
+      continue;
+    }
     if (stmt.select_list.empty()) {
       result.rows.push_back(combined);
     } else {
@@ -1119,6 +1160,22 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
       result.rows.push_back(std::move(projected));
     }
     if (need_kept) kept.push_back(combined);
+  }
+
+  if (has_agg) {
+    if (stmt.group_by.empty() && agg_input.empty()) {
+      Mark(Feature::kAggregateEmptyInput);
+    }
+    if (!AggregateSelect(stmt, schema, agg_input, ctx, &result.rows,
+                         &relational_error)) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      relational_error);
+    }
+    result.column_names.clear();
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      result.column_names.push_back("expr" + std::to_string(i));
+    }
+    return result;
   }
 
   // DISTINCT dedups the projected rows (set semantics; first occurrence

@@ -92,6 +92,9 @@ BugHuntResult HuntBug(BugId bug, const CampaignOptions& options) {
   runner_options.queries_per_database = options.queries_per_database;
   runner_options.stop_on_first_finding = true;
   runner_options.workers = options.workers;
+  runner_options.family = options.family == OracleFamily::kAuto
+                              ? FamilyForOracle(info.oracle)
+                              : options.family;
   runner_options.gen = options.gen;
 
   PqsRunner runner(buggy, runner_options);

@@ -45,6 +45,12 @@ struct CampaignOptions {
   // "many concurrent fuzzing threads per DBMS" shape is preserved without
   // giving up seed determinism.
   int workers = 1;
+  // Oracle family the hunts run with. kAuto resolves per bug to the
+  // registry entry's intended finder (a containment-blind aggregation bug
+  // is hunted with TLP, the classic classes with containment); forcing a
+  // family instead is what the per-family detection-latency benchmark
+  // does.
+  OracleFamily family = OracleFamily::kAuto;
   GeneratorOptions gen;
 };
 

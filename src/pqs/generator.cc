@@ -87,6 +87,10 @@ std::string GeneratorOptions::Validate() const {
       {"collate_probability", collate_probability},
       {"like_escape_probability", like_escape_probability},
       {"in_list_null_probability", in_list_null_probability},
+      {"tlp_rows_shape_probability", tlp_rows_shape_probability},
+      {"count_distinct_probability", count_distinct_probability},
+      {"group_by_probability", group_by_probability},
+      {"having_probability", having_probability},
   };
   for (const auto& [name, p] : probs) {
     std::string err = check_prob(name, p);
@@ -890,6 +894,86 @@ ExprPtr Generator::GenPredicate(const std::vector<const TableSchema*>& tables,
 ExprPtr Generator::GeneratePredicate(
     const std::vector<const TableSchema*>& tables, Rng* rng) const {
   return GenPredicate(tables, options_.max_predicate_depth, rng);
+}
+
+std::unique_ptr<SelectStmt> Generator::GenerateAggregateQuery(
+    const TableSchema& table, Rng* rng) const {
+  auto q = std::make_unique<SelectStmt>();
+  q->from_tables.push_back(table.name);
+
+  std::vector<const ColumnDef*> numeric;
+  for (const ColumnDef& c : table.columns) {
+    if (c.affinity != Affinity::kText) numeric.push_back(&c);
+  }
+
+  // Dedicated COUNT(DISTINCT c) shape: exactly one item, no grouping.
+  if (rng->Chance(options_.count_distinct_probability)) {
+    const ColumnDef& col = table.columns[rng->Below(table.columns.size())];
+    q->select_list.push_back(MakeAggregate(
+        AggFunc::kCount, MakeColumnRef(table.name, col.name),
+        /*distinct=*/true));
+    return q;
+  }
+
+  // Random aggregate call. `numeric_only` restricts the result to calls
+  // whose value is numeric in every dialect (what HAVING comparisons need
+  // under strict typing); SUM/AVG are numeric-argument-only regardless.
+  auto gen_agg = [&](bool numeric_only) -> ExprPtr {
+    for (;;) {
+      switch (rng->Below(6)) {
+        case 0:
+          return MakeCountStar();
+        case 1: {
+          const ColumnDef& col =
+              table.columns[rng->Below(table.columns.size())];
+          return MakeAggregate(AggFunc::kCount,
+                               MakeColumnRef(table.name, col.name), false);
+        }
+        case 2:
+        case 3: {
+          if (numeric.empty()) break;  // redraw
+          const ColumnDef& col = *numeric[rng->Below(numeric.size())];
+          AggFunc func = rng->Chance(0.5) ? AggFunc::kSum : AggFunc::kAvg;
+          return MakeAggregate(func, MakeColumnRef(table.name, col.name),
+                               false);
+        }
+        default: {
+          const ColumnDef* col = nullptr;
+          if (numeric_only) {
+            if (numeric.empty()) break;  // redraw (COUNT always lands)
+            col = numeric[rng->Below(numeric.size())];
+          } else {
+            col = &table.columns[rng->Below(table.columns.size())];
+          }
+          AggFunc func = rng->Chance(0.5) ? AggFunc::kMin : AggFunc::kMax;
+          return MakeAggregate(func, MakeColumnRef(table.name, col->name),
+                               false);
+        }
+      }
+    }
+  };
+
+  const bool grouped = rng->Chance(options_.group_by_probability);
+  if (grouped) {
+    const ColumnDef& key = table.columns[rng->Below(table.columns.size())];
+    q->group_by.push_back(MakeColumnRef(table.name, key.name));
+    q->select_list.push_back(MakeColumnRef(table.name, key.name));
+  }
+
+  const int aggs = 1 + static_cast<int>(rng->Below(2));
+  for (int i = 0; i < aggs; ++i) {
+    q->select_list.push_back(gen_agg(/*numeric_only=*/false));
+  }
+
+  if (grouped && rng->Chance(options_.having_probability)) {
+    // HAVING: a numeric aggregate against a small integer bound, so the
+    // comparison is statically typed in every dialect. AVG yields REAL;
+    // numeric-vs-numeric comparisons are legal even under strict typing.
+    BinaryOp op = rng->Chance(0.5) ? BinaryOp::kGe : BinaryOp::kLt;
+    q->having = MakeBinary(op, gen_agg(/*numeric_only=*/true),
+                           MakeIntLiteral(static_cast<int64_t>(rng->Below(4))));
+  }
+  return q;
 }
 
 }  // namespace pqs

@@ -70,6 +70,21 @@ struct GeneratorOptions {
   // Probability an IN list includes a NULL element (UNKNOWN semantics).
   double in_list_null_probability = 0.25;
 
+  // --- Aggregate query space (metamorphic-oracle campaigns only; the
+  // --- containment oracle cannot judge aggregates, so the runner calls
+  // --- GenerateAggregateQuery exclusively on the TLP path). -------------
+  // Probability a TLP check uses the plain row-set shape (SELECT * with
+  // multiset-union recombination) instead of an aggregate query.
+  double tlp_rows_shape_probability = 0.25;
+  // Probability an aggregate query is the dedicated COUNT(DISTINCT c)
+  // shape (its partials recombine by value-set union, not summation).
+  double count_distinct_probability = 0.2;
+  // Probability an aggregate query groups by one column.
+  double group_by_probability = 0.45;
+  // Probability a grouped query carries a HAVING clause (a numeric
+  // aggregate compared against a small integer literal).
+  double having_probability = 0.5;
+
   // --- Statement-level mutation stream (indexes / UPDATE / DELETE /
   // --- maintenance — DESIGN §9). ----------------------------------------
   // Weighted statement mix the ActionScheduler draws between pivot checks:
@@ -146,6 +161,18 @@ class Generator {
   // Random predicate over the given tables' columns.
   ExprPtr GeneratePredicate(
       const std::vector<const TableSchema*>& tables, Rng* rng) const;
+
+  // Random single-table aggregate query for a TLP check: 1-2 aggregate
+  // calls (COUNT(*) / COUNT / SUM / AVG / MIN / MAX), sometimes GROUP BY
+  // one column (the key is then also projected), sometimes HAVING, or the
+  // dedicated COUNT(DISTINCT c) shape. SUM/AVG arguments are restricted to
+  // numeric-affinity columns in every dialect, which keeps the query
+  // differentially comparable against real SQLite (no text-to-number
+  // coercion paths) and statically typed for the strict dialect's error
+  // oracle. The query never carries WHERE / DISTINCT / ORDER BY / LIMIT:
+  // the TLP partitions supply the predicates.
+  std::unique_ptr<SelectStmt> GenerateAggregateQuery(const TableSchema& table,
+                                                     Rng* rng) const;
 
   // --- Statement-level mutations (drawn by the ActionScheduler). --------
   // 1-2 fresh rows for `table`, same value model as the setup inserts.

@@ -12,8 +12,37 @@ const char* OracleName(OracleKind kind) {
       return "error";
     case OracleKind::kCrash:
       return "crash";
+    case OracleKind::kNorec:
+      return "norec";
+    case OracleKind::kTlp:
+      return "tlp";
   }
   return "?";
+}
+
+const char* OracleFamilyName(OracleFamily family) {
+  switch (family) {
+    case OracleFamily::kAuto:
+      return "auto";
+    case OracleFamily::kContainment:
+      return "containment";
+    case OracleFamily::kNorec:
+      return "norec";
+    case OracleFamily::kTlp:
+      return "tlp";
+  }
+  return "?";
+}
+
+OracleFamily FamilyForOracle(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kNorec:
+      return OracleFamily::kNorec;
+    case OracleKind::kTlp:
+      return OracleFamily::kTlp;
+    default:
+      return OracleFamily::kContainment;
+  }
 }
 
 Finding Finding::Clone() const {
@@ -75,6 +104,9 @@ void AggregateStats::Add(const TestCaseStats& tc) {
   with_delete += tc.has_delete ? 1 : 0;
   with_drop_index += tc.has_drop_index ? 1 : 0;
   with_maintenance += tc.has_maintenance ? 1 : 0;
+  with_aggregate += tc.has_aggregate ? 1 : 0;
+  with_group_by += tc.has_group_by ? 1 : 0;
+  with_having += tc.has_having ? 1 : 0;
 }
 
 void AggregateStats::Merge(const AggregateStats& other) {
@@ -108,6 +140,9 @@ void AggregateStats::Merge(const AggregateStats& other) {
   with_delete += other.with_delete;
   with_drop_index += other.with_drop_index;
   with_maintenance += other.with_maintenance;
+  with_aggregate += other.with_aggregate;
+  with_group_by += other.with_group_by;
+  with_having += other.with_having;
 }
 
 double AggregateStats::AverageLoc() const {
@@ -191,9 +226,16 @@ TestCaseStats AnalyzeTestCase(const Finding& finding) {
           if (join.on != nullptr) scan_expr(*join.on);
         }
         if (sel.where != nullptr) scan_expr(*sel.where);
+        for (const ExprPtr& item : sel.select_list) {
+          if (item != nullptr) scan_expr(*item);
+        }
+        if (sel.having != nullptr) scan_expr(*sel.having);
         stats.has_distinct |= sel.distinct;
         stats.has_order_by |= !sel.order_by.empty();
         stats.has_limit |= sel.limit >= 0;
+        stats.has_aggregate |= sel.HasAggregates();
+        stats.has_group_by |= !sel.group_by.empty();
+        stats.has_having |= sel.having != nullptr;
         break;
       }
       default:

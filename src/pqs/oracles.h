@@ -22,9 +22,24 @@
 
 namespace pqs {
 
-enum class OracleKind { kContainment, kError, kCrash };
+enum class OracleKind { kContainment, kError, kCrash, kNorec, kTlp };
 
 const char* OracleName(OracleKind kind);
+
+// Which oracle family a campaign runs its query phase with. Error and
+// crash detection are always on; the family chooses the semantic check:
+// PQS pivot containment, NoREC's optimized-vs-unoptimized count compare,
+// or TLP's ternary partition recombination (the only family that can
+// judge aggregate/GROUP BY queries). kAuto lets HuntBug pick the family
+// a bug's registry entry names as its intended finder.
+enum class OracleFamily { kAuto, kContainment, kNorec, kTlp };
+
+const char* OracleFamilyName(OracleFamily family);
+
+// The family that runs a given oracle's semantic check: kNorec/kTlp map to
+// their own families, everything else (containment, error, crash) to
+// kContainment — error and crash findings surface under every family.
+OracleFamily FamilyForOracle(OracleKind kind);
 
 struct Finding {
   OracleKind oracle = OracleKind::kContainment;
@@ -84,6 +99,10 @@ struct TestCaseStats {
   bool has_delete = false;
   bool has_drop_index = false;
   bool has_maintenance = false;
+  // Aggregate buckets (PR 6): grouping grammar in any SELECT.
+  bool has_aggregate = false;
+  bool has_group_by = false;
+  bool has_having = false;
 };
 
 struct CategoryStat {
@@ -120,6 +139,10 @@ struct AggregateStats {
   size_t with_delete = 0;
   size_t with_drop_index = 0;
   size_t with_maintenance = 0;
+  // Aggregate buckets.
+  size_t with_aggregate = 0;
+  size_t with_group_by = 0;
+  size_t with_having = 0;
 
   void Add(const TestCaseStats& tc);
   // Value merge of per-shard aggregates: Merge(a, b) of disjoint shards

@@ -101,6 +101,16 @@ bool Reproduces(ProbeEngines& engines,
       }
       // Pivot-based fallback when no reference engine is available.
       return !pivot.empty() && !ResultContainsRow(buggy_result, pivot);
+    case OracleKind::kNorec:
+    case OracleKind::kTlp:
+      // Metamorphic findings reduce differentially: the decisive (last)
+      // transformed query must still disagree with the reference engine.
+      // Without a reference — or when the disagreement sat in an earlier
+      // transformed query — nothing reproduces and the finding is kept
+      // unreduced, never wrongly shrunk.
+      if (!buggy_result.ok()) return false;
+      return have_reference && reference_result.ok() &&
+             !SameResultRows(buggy_result, reference_result);
   }
   return false;
 }

@@ -10,6 +10,7 @@
 #include "src/minidb/database.h"
 #include "src/pqs/scheduler.h"
 #include "src/sqlexpr/rectify.h"
+#include "src/sqlmeta/oracle.h"
 
 namespace pqs {
 
@@ -263,6 +264,122 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       }
     }
     if (finding_in_db) break;
+
+    if (options.family == OracleFamily::kNorec ||
+        options.family == OracleFamily::kTlp) {
+      // Metamorphic check: one random table. The ground-truth state
+      // comparison stays on as for containment — a mutation the engine
+      // lost is caught before it can masquerade as a metamorphic
+      // mismatch — then the family's transformed queries run in place of
+      // the pivot-containment query.
+      const TableSchema& table = plan.tables[rng.Below(plan.tables.size())];
+      SelectStmt fetch;
+      fetch.from_tables = {table.name};
+      StatementResult rows = conn->Execute(fetch);
+      ++out.stats.statements_executed;
+      if (rows.status == StatementStatus::kUnsupported) {
+        out.unsupported_engine = true;
+        return out;
+      }
+      if (!rows.ok()) {
+        Finding finding;
+        finding.oracle = rows.status == StatementStatus::kCrash
+                             ? OracleKind::kCrash
+                             : OracleKind::kError;
+        finding.statements = CloneSession(plan, mutation_log, &fetch);
+        finding.message = rows.error;
+        record(std::move(finding));
+        break;
+      }
+      StatementResult model_rows = model.Execute(fetch);
+      ++out.stats.state_compares;
+      if (model_rows.ok() && !SameRowMultiset(rows.rows, model_rows.rows)) {
+        Finding finding;
+        finding.oracle = OracleKind::kContainment;
+        finding.statements = CloneSession(plan, mutation_log, &fetch);
+        finding.message =
+            "table " + table.name +
+            " diverged from the ground-truth mutation replay: engine has " +
+            std::to_string(rows.rows.size()) + " row(s), reference " +
+            std::to_string(model_rows.rows.size());
+        record(std::move(finding));
+        break;
+      }
+
+      std::vector<const TableSchema*> single{&table};
+      ExprPtr predicate = generator.GeneratePredicate(single, &rng);
+      if (options.family == OracleFamily::kNorec) {
+        // NoREC's optimized side engages the planner; the partial-index
+        // probe keeps the partial-index scan paths reachable there too.
+        if (ExprPtr probe =
+                scheduler.MaybePartialIndexProbe(table.name, &rng)) {
+          predicate = MakeBinary(BinaryOp::kAnd, std::move(probe),
+                                 std::move(predicate));
+        }
+      }
+      int meta_depth = predicate->Depth();
+      ++out.stats.predicate_depth_buckets[ExprDepthBucket(meta_depth)];
+      size_t meta_calls = predicate->CountKind(ExprKind::kFunctionCall);
+      out.stats.function_calls_generated += meta_calls;
+      if (meta_calls > 0) ++out.stats.predicates_with_function;
+
+      sqlmeta::MetaOutcome outcome;
+      OracleKind mismatch_oracle = OracleKind::kNorec;
+      if (options.family == OracleFamily::kNorec) {
+        outcome = sqlmeta::RunNorecCheck(*conn, table.name, *predicate);
+      } else {
+        mismatch_oracle = OracleKind::kTlp;
+        std::unique_ptr<SelectStmt> full;
+        if (rng.Chance(options.gen.tlp_rows_shape_probability)) {
+          // Plain row-set shape: SELECT * recombined by multiset union.
+          full = std::make_unique<SelectStmt>();
+          full->from_tables.push_back(table.name);
+        } else {
+          full = generator.GenerateAggregateQuery(table, &rng);
+        }
+        if (full->HasAggregates()) {
+          ++out.stats.aggregate_queries;
+          if (!full->group_by.empty()) ++out.stats.group_by_queries;
+          if (full->having != nullptr) ++out.stats.having_queries;
+        }
+        outcome = sqlmeta::RunTlpCheck(*conn, *full, *predicate);
+      }
+      out.stats.statements_executed += outcome.executed.size();
+      if (outcome.verdict == sqlmeta::MetaVerdict::kSkipped) {
+        ++out.stats.queries_skipped;
+        continue;
+      }
+      if (outcome.verdict == sqlmeta::MetaVerdict::kUnsupported) {
+        out.unsupported_engine = true;
+        return out;
+      }
+      ++out.stats.queries_checked;
+      if (options.family == OracleFamily::kNorec) {
+        ++out.stats.norec_checks;
+      } else {
+        ++out.stats.tlp_checks;
+        size_t executed = outcome.executed.size();
+        out.stats.tlp_partition_queries += executed > 3 ? 3 : executed;
+      }
+      if (outcome.verdict == sqlmeta::MetaVerdict::kOk) continue;
+      Finding finding;
+      if (outcome.verdict == sqlmeta::MetaVerdict::kMismatch) {
+        finding.oracle = mismatch_oracle;
+      } else if (outcome.verdict == sqlmeta::MetaVerdict::kEngineCrash) {
+        finding.oracle = OracleKind::kCrash;
+      } else {
+        finding.oracle = OracleKind::kError;
+      }
+      // The replayable session plus every transformed query the check ran;
+      // the query that decided the verdict is last.
+      finding.statements = CloneSession(plan, mutation_log, nullptr);
+      for (StmtPtr& s : outcome.executed) {
+        finding.statements.push_back(std::move(s));
+      }
+      finding.message = outcome.message;
+      record(std::move(finding));
+      break;
+    }
 
     QueryShape shape = generator.GenerateQueryShape(plan, &rng);
     const std::vector<const TableSchema*>& from = shape.tables;
@@ -554,6 +671,12 @@ void RunStats::Merge(const RunStats& other) {
   constraint_violations += other.constraint_violations;
   join_conditions_rectified += other.join_conditions_rectified;
   limited_queries += other.limited_queries;
+  norec_checks += other.norec_checks;
+  tlp_checks += other.tlp_checks;
+  tlp_partition_queries += other.tlp_partition_queries;
+  aggregate_queries += other.aggregate_queries;
+  group_by_queries += other.group_by_queries;
+  having_queries += other.having_queries;
   actions_insert += other.actions_insert;
   actions_update += other.actions_update;
   actions_delete += other.actions_delete;

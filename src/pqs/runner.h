@@ -31,6 +31,12 @@ struct RunnerOptions {
   // Worker threads executing the shard plan. 1 runs the plan inline on the
   // calling thread; the merged report is the same for every value.
   int workers = 1;
+  // Which semantic oracle checks each generated query: classic pivot
+  // containment, NoREC, or TLP. kAuto is normalized to containment here
+  // (campaign-level HuntBug resolves it to the hunted bug's intended
+  // finder first). The error/crash oracles and the ground-truth mutation
+  // state comparison stay on for every family.
+  OracleFamily family = OracleFamily::kContainment;
   GeneratorOptions gen;
 };
 
@@ -60,6 +66,16 @@ struct RunStats {
   // ActionScheduler issued between pivot checks, and how many ground-truth
   // state comparisons (engine table vs model table, as multisets) the
   // pivot-selection phase performed.
+  // Metamorphic-oracle tallies: completed NoREC / TLP checks, the TLP
+  // partition queries those checks executed, and how many checked queries
+  // carried aggregates / GROUP BY / HAVING. Merged like every other
+  // counter, so N-worker reports stay byte-identical.
+  uint64_t norec_checks = 0;
+  uint64_t tlp_checks = 0;
+  uint64_t tlp_partition_queries = 0;
+  uint64_t aggregate_queries = 0;
+  uint64_t group_by_queries = 0;
+  uint64_t having_queries = 0;
   uint64_t actions_insert = 0;
   uint64_t actions_update = 0;
   uint64_t actions_delete = 0;

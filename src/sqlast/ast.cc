@@ -14,6 +14,9 @@ ExprPtr Expr::Clone() const {
   out->bop = bop;
   out->negated = negated;
   out->func = func;
+  out->agg = agg;
+  out->agg_distinct = agg_distinct;
+  out->agg_star = agg_star;
   out->cast_to = cast_to;
   out->collation = collation;
   out->case_has_else = case_has_else;
@@ -113,6 +116,12 @@ bool Expr::StructurallyEquals(const Expr& other) const {
       break;
     case ExprKind::kFunctionCall:
       if (func != other.func) return false;
+      break;
+    case ExprKind::kAggregate:
+      if (agg != other.agg || agg_distinct != other.agg_distinct ||
+          agg_star != other.agg_star) {
+        return false;
+      }
       break;
     case ExprKind::kCast:
       if (cast_to != other.cast_to) return false;
@@ -268,6 +277,41 @@ ExprPtr MakeCollate(ExprPtr operand, Collation collation) {
   return e;
 }
 
+ExprPtr MakeAggregate(AggFunc func, ExprPtr arg, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = func;
+  e->agg_distinct = distinct;
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeCountStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = AggFunc::kCount;
+  e->agg_star = true;
+  return e;
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kNumAggFuncs:
+      break;
+  }
+  return "?";
+}
+
 bool IsComparisonOp(BinaryOp op) {
   switch (op) {
     case BinaryOp::kEq:
@@ -353,10 +397,24 @@ StmtPtr SelectStmt::Clone() const {
   out->joins.reserve(joins.size());
   for (const JoinClause& j : joins) out->joins.push_back(j.Clone());
   out->where = where ? where->Clone() : nullptr;
+  out->group_by.reserve(group_by.size());
+  for (const ExprPtr& g : group_by) {
+    out->group_by.push_back(g ? g->Clone() : nullptr);
+  }
+  out->having = having ? having->Clone() : nullptr;
   out->order_by.reserve(order_by.size());
   for (const OrderByItem& o : order_by) out->order_by.push_back(o.Clone());
   out->limit = limit;
+  out->meta_rewrite = meta_rewrite;
   return out;
+}
+
+bool SelectStmt::HasAggregates() const {
+  if (!group_by.empty() || having != nullptr) return true;
+  for (const ExprPtr& e : select_list) {
+    if (e && e->ContainsKind(ExprKind::kAggregate)) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> SelectStmt::AllTables() const {

@@ -35,7 +35,17 @@ enum class ExprKind {
   kCast,          // CAST(e AS type)
   kCase,          // CASE WHEN w THEN t [WHEN ...] [ELSE e] END
   kCollate,       // e COLLATE BINARY|NOCASE
+  kAggregate,     // COUNT(*) / COUNT|SUM|AVG|MIN|MAX([DISTINCT] e)
 };
+
+// Aggregate functions of the grouping subsystem. Unlike the scalar FuncId
+// vocabulary these are not registry-driven: every dialect spells all five
+// the same way, and their semantics live in the shared grouping core
+// (src/interp), not in the per-dialect function registry.
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax, kNumAggFuncs };
+
+// Uppercase SQL spelling ("COUNT", "SUM", ...), identical in every dialect.
+const char* AggFuncName(AggFunc func);
 
 // Scalar functions the typed expression subsystem models. The vocabulary
 // lives here because Expr nodes carry a FuncId; everything *about* a
@@ -90,6 +100,9 @@ struct Expr {
   bool negated = false;              // IS NOT NULL / NOT IN / NOT BETWEEN /
                                      // NOT LIKE
   FuncId func = FuncId::kAbs;        // kFunctionCall
+  AggFunc agg = AggFunc::kCount;     // kAggregate
+  bool agg_distinct = false;         // kAggregate: COUNT(DISTINCT e), ...
+  bool agg_star = false;             // kAggregate: COUNT(*) (no operand)
   Affinity cast_to = Affinity::kText;        // kCast target type
   Collation collation = Collation::kBinary;  // kCollate
   bool case_has_else = false;        // kCase: last arg is the ELSE value
@@ -150,6 +163,10 @@ ExprPtr MakeCast(ExprPtr operand, Affinity to);
 ExprPtr MakeCase(std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
                  ExprPtr else_value);
 ExprPtr MakeCollate(ExprPtr operand, Collation collation);
+// COUNT|SUM|AVG|MIN|MAX([DISTINCT] arg). COUNT(*) has its own factory
+// because it takes no operand (agg_star is set instead).
+ExprPtr MakeAggregate(AggFunc func, ExprPtr arg, bool distinct);
+ExprPtr MakeCountStar();
 
 bool IsComparisonOp(BinaryOp op);
 bool IsArithmeticOp(BinaryOp op);
@@ -242,14 +259,25 @@ struct SelectStmt : Stmt {
   std::vector<std::string> from_tables;
   std::vector<JoinClause> joins;
   ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;  // GROUP BY keys (column refs)
+  ExprPtr having;                 // may be null; requires/implies grouping
   std::vector<OrderByItem> order_by;
   int64_t limit = -1;  // < 0 means no LIMIT clause
+  // Set by the sqlmeta transforms on the rewritten queries they build
+  // (NoREC pair, TLP partitions). Never rendered; SqliteConnection keys
+  // its prepared-statement cache counters on it so BENCH_throughput can
+  // report base-query and meta-query cache behaviour separately.
+  bool meta_rewrite = false;
 
   StmtKind kind() const override { return StmtKind::kSelect; }
   StmtPtr Clone() const override;
 
   // All FROM tables in join order: from_tables then each join's table.
   std::vector<std::string> AllTables() const;
+  // True when the statement needs the grouping/aggregation pipeline: an
+  // aggregate call anywhere in the select list or HAVING, or an explicit
+  // GROUP BY.
+  bool HasAggregates() const;
 };
 
 // Figure-3 statement category ("CREATE TABLE", "INSERT", ...).

@@ -82,6 +82,11 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
   // Prepare-once / reset-and-rerun for repeated SELECT text (the pivot
   // probe pattern). The cache is MRU-ordered; hits move to the front.
   bool cacheable = cache_enabled_ && stmt.kind() == StmtKind::kSelect;
+  // Metamorphic rewrites are tallied separately (as a subset of the
+  // totals) so the bench can tell whether the NoREC/TLP rewrite texts
+  // revisit the cache or churn it.
+  bool meta = stmt.kind() == StmtKind::kSelect &&
+              static_cast<const SelectStmt&>(stmt).meta_rewrite;
   sqlite3_stmt* prepared = nullptr;
   bool in_cache = false;
   if (cacheable) {
@@ -96,6 +101,7 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
       }
       in_cache = true;
       ++cache_hits_;
+      if (meta) ++meta_cache_hits_;
       break;
     }
   }
@@ -109,8 +115,12 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
     }
     if (cacheable) {
       ++cache_misses_;
+      if (meta) ++meta_cache_misses_;
       cache_.insert(cache_.begin(), CachedStmt{sql, prepared});
-      constexpr size_t kMaxCachedStatements = 16;
+      // 32 slots: the pivot-probe SELECTs plus the NoREC/TLP rewrite
+      // working set (up to four texts per TLP check) fit without eviction
+      // churn; linear MRU scan is still cheap at this size.
+      constexpr size_t kMaxCachedStatements = 32;
       while (cache_.size() > kMaxCachedStatements) {
         sqlite3_finalize(cache_.back().stmt);
         cache_.pop_back();

@@ -1,0 +1,94 @@
+// Metamorphic query transformations: NoREC and TLP rewrites.
+//
+// These are pure AST→AST functions; executing the rewritten queries and
+// comparing their results is the oracle's job (src/sqlmeta/oracle.h). The
+// split keeps the transformations unit-testable per dialect through the
+// renderer without touching an engine, and keeps the oracle code free of
+// query-construction details.
+//
+// NoREC (Rigger & Su, ESEC/FSE '20): a WHERE predicate drives two queries
+// that a correct engine must answer identically in cardinality — the
+// *optimized* `SELECT COUNT(*) FROM t WHERE p` (planner engaged: index
+// scans, pushdowns) and the *unoptimized* `SELECT p FROM t` (the predicate
+// demoted to a projected value, where no WHERE optimization can touch it).
+//
+// TLP (Rigger & Su, OOPSLA '20): any predicate p ternary-partitions a
+// table's rows into p / NOT p / p IS NULL. A query over the whole table
+// must equal the recombination of the same query over the three partitions.
+// For plain row sets the recombination is multiset union (UNION ALL); for
+// aggregates it is per-function arithmetic over decomposed partials (SUM of
+// SUMs, SUM of COUNTs, AVG from SUM+COUNT, MIN of MINs, MAX of MAXes), and
+// COUNT(DISTINCT) — where summing per-partition counts would be unsound,
+// a value can appear in several partitions — recombines by deduplicating
+// the union of per-partition DISTINCT value sets.
+#ifndef PQS_SRC_SQLMETA_TRANSFORM_H_
+#define PQS_SRC_SQLMETA_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sqlast/ast.h"
+
+namespace pqs {
+namespace sqlmeta {
+
+// `SELECT COUNT(*) FROM table WHERE p` — the planner-visible side.
+std::unique_ptr<SelectStmt> NorecOptimized(const std::string& table,
+                                           const Expr& predicate);
+
+// `SELECT p FROM table` — the predicate as a projected boolean; the oracle
+// counts rows whose projected value is truthy.
+std::unique_ptr<SelectStmt> NorecUnoptimized(const std::string& table,
+                                             const Expr& predicate);
+
+// The three TLP partition predicates: p, NOT p, (p) IS NULL.
+std::vector<ExprPtr> TlpPartitionPredicates(const Expr& predicate);
+
+// The recombination strategy a TLP-checkable query calls for, inferred
+// from its shape by BuildTlpPlan.
+enum class TlpShape {
+  kRows,           // plain SELECT *: multiset union of partitions
+  kAggregate,      // global aggregates: arithmetic over partials
+  kCountDistinct,  // single COUNT(DISTINCT c): dedup partition value sets
+  kGroupBy,        // GROUP BY [HAVING]: merge groups, recombine per group
+};
+
+const char* TlpShapeName(TlpShape shape);
+
+// One aggregate term of an aggregate/GROUP BY plan: where its decomposed
+// partials land in the partition queries' select lists. AVG(e) decomposes
+// into SUM(e) + COUNT(e) (both indexes set); every other function is its
+// own partial (only value_index set).
+struct TlpAggTerm {
+  const Expr* original = nullptr;  // kAggregate node in the full query
+  int value_index = -1;            // partial column in partition results
+  int count_index = -1;            // AVG only: the COUNT(e) partial
+};
+
+struct TlpPlan {
+  TlpShape shape = TlpShape::kRows;
+  // kGroupBy: number of leading group-key columns in each partition's
+  // select list (clones of the full query's GROUP BY column refs).
+  int group_cols = 0;
+  // kAggregate/kGroupBy: the unique aggregate nodes of the full query's
+  // select list and HAVING, in discovery order.
+  std::vector<TlpAggTerm> aggs;
+  // The three partition queries, in p / NOT p / IS NULL order. Partition
+  // queries never carry the full query's HAVING — the oracle re-applies it
+  // on recombined aggregates, which is what makes HAVING-stage bugs
+  // visible.
+  std::vector<std::unique_ptr<SelectStmt>> partitions;
+};
+
+// Classifies `query` and builds its three partition queries. Returns false
+// and fills *error for shapes outside the TLP-checkable space (joins,
+// DISTINCT, ORDER BY, LIMIT, non-column GROUP BY keys, aggregate-free
+// explicit select lists).
+bool BuildTlpPlan(const SelectStmt& query, const Expr& predicate,
+                  TlpPlan* plan, std::string* error);
+
+}  // namespace sqlmeta
+}  // namespace pqs
+
+#endif  // PQS_SRC_SQLMETA_TRANSFORM_H_

@@ -132,6 +132,13 @@ std::string RenderExpr(const Expr& expr, Dialect dialect) {
     case ExprKind::kCollate:
       return "(" + RenderExpr(*expr.args[0], dialect) + " COLLATE " +
              CollationName(expr.collation) + ")";
+    case ExprKind::kAggregate: {
+      if (expr.agg_star) return std::string(AggFuncName(expr.agg)) + "(*)";
+      std::string out = std::string(AggFuncName(expr.agg)) + "(";
+      if (expr.agg_distinct) out += "DISTINCT ";
+      out += RenderExpr(*expr.args[0], dialect);
+      return out + ")";
+    }
   }
   return "?";
 }
@@ -238,6 +245,14 @@ std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
         if (join.on) out += " ON " + RenderExpr(*join.on, dialect);
       }
       if (sel.where) out += " WHERE " + RenderExpr(*sel.where, dialect);
+      if (!sel.group_by.empty()) {
+        out += " GROUP BY ";
+        for (size_t i = 0; i < sel.group_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += RenderExpr(*sel.group_by[i], dialect);
+        }
+      }
+      if (sel.having) out += " HAVING " + RenderExpr(*sel.having, dialect);
       if (!sel.order_by.empty()) {
         out += " ORDER BY ";
         for (size_t i = 0; i < sel.order_by.size(); ++i) {

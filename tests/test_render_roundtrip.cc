@@ -15,6 +15,7 @@
 
 #include "src/minidb/database.h"
 #include "src/sqlite3db/sqlite_connection.h"
+#include "src/sqlmeta/transform.h"
 #include "src/sqlparser/render.h"
 #include "tests/test_util.h"
 
@@ -655,6 +656,112 @@ std::vector<StmtPtr> BuildCorpus() {
     auto fetch = std::make_unique<SelectStmt>();
     fetch->from_tables = {table};
     corpus.push_back(std::move(fetch));
+  }
+
+  // --- Metamorphic oracle subsystem (PR 6): aggregates, GROUP BY/HAVING,
+  // --- and the NoREC/TLP rewrite texts themselves, over the mutated end
+  // --- state (t1 is down to (1, 2.0) and (2, 3.0); t2 is all 'ab'). ------
+
+  // Q40: every global aggregate at once, mixing * / column / real args.
+  auto q40 = std::make_unique<SelectStmt>();
+  q40->from_tables = {"t1"};
+  q40->select_list.push_back(MakeCountStar());
+  q40->select_list.push_back(
+      MakeAggregate(AggFunc::kSum, MakeColumnRef("t1", "c2"), false));
+  q40->select_list.push_back(
+      MakeAggregate(AggFunc::kAvg, MakeColumnRef("t1", "c3"), false));
+  q40->select_list.push_back(
+      MakeAggregate(AggFunc::kMin, MakeColumnRef("t1", "c3"), false));
+  q40->select_list.push_back(
+      MakeAggregate(AggFunc::kMax, MakeColumnRef("t1", "c2"), false));
+  corpus.push_back(std::move(q40));
+
+  // Q41: COUNT(DISTINCT) after M3 collapsed t2 to a single value.
+  auto q41 = std::make_unique<SelectStmt>();
+  q41->from_tables = {"t2"};
+  q41->select_list.push_back(
+      MakeAggregate(AggFunc::kCount, MakeColumnRef("t2", "c4"), true));
+  corpus.push_back(std::move(q41));
+
+  // Q42: GROUP BY with a multi-row group.
+  auto q42 = std::make_unique<SelectStmt>();
+  q42->from_tables = {"t2"};
+  q42->select_list.push_back(MakeColumnRef("t2", "c4"));
+  q42->select_list.push_back(MakeCountStar());
+  q42->group_by.push_back(MakeColumnRef("t2", "c4"));
+  corpus.push_back(std::move(q42));
+
+  // Q43: GROUP BY over t4's NULL-keyed PK rows — NULLs form their own
+  // group, and COUNT(c8) counts within it.
+  auto q43 = std::make_unique<SelectStmt>();
+  q43->from_tables = {"t4"};
+  q43->select_list.push_back(MakeColumnRef("t4", "c7"));
+  q43->select_list.push_back(
+      MakeAggregate(AggFunc::kCount, MakeColumnRef("t4", "c8"), false));
+  q43->group_by.push_back(MakeColumnRef("t4", "c7"));
+  corpus.push_back(std::move(q43));
+
+  // Q44: GROUP BY + HAVING, the HAVING aggregate not in the select list.
+  auto q44 = std::make_unique<SelectStmt>();
+  q44->from_tables = {"t2"};
+  q44->select_list.push_back(MakeColumnRef("t2", "c4"));
+  q44->select_list.push_back(
+      MakeAggregate(AggFunc::kMin, MakeColumnRef("t2", "c4"), false));
+  q44->group_by.push_back(MakeColumnRef("t2", "c4"));
+  q44->having = MakeBinary(BinaryOp::kGt, MakeCountStar(), MakeIntLiteral(1));
+  corpus.push_back(std::move(q44));
+
+  // N1/N2: the NoREC pair for `t1.c2 > 1` — the optimized COUNT(*) side
+  // and the predicate-as-projection side must agree in cardinality.
+  {
+    ExprPtr pred = MakeBinary(BinaryOp::kGt, MakeColumnRef("t1", "c2"),
+                              MakeIntLiteral(1));
+    corpus.push_back(sqlmeta::NorecOptimized("t1", *pred));
+    corpus.push_back(sqlmeta::NorecUnoptimized("t1", *pred));
+  }
+
+  // T1a-T1c: TLP partitions of the global-aggregate query
+  // `SELECT SUM(c2), COUNT(*) FROM t1` under `c3 > 2.25` — the IS NULL
+  // partition is empty, so its SUM partial is NULL and its COUNT is 0.
+  {
+    SelectStmt full;
+    full.from_tables = {"t1"};
+    full.select_list.push_back(
+        MakeAggregate(AggFunc::kSum, MakeColumnRef("t1", "c2"), false));
+    full.select_list.push_back(MakeCountStar());
+    ExprPtr pred = MakeBinary(BinaryOp::kGt, MakeColumnRef("t1", "c3"),
+                              MakeRealLiteral(2.25));
+    sqlmeta::TlpPlan plan;
+    std::string error;
+    if (sqlmeta::BuildTlpPlan(full, *pred, &plan, &error)) {
+      for (auto& partition : plan.partitions) {
+        corpus.push_back(std::move(partition));
+      }
+    }
+  }
+
+  // T2a-T2c: TLP partitions of the GROUP BY + HAVING query Q44 under
+  // `c4 = 'ab'` — partitions keep the grouping but drop the HAVING (the
+  // oracle re-applies it on recombined aggregates), and the NOT / IS NULL
+  // partitions select no rows at all.
+  {
+    SelectStmt full;
+    full.from_tables = {"t2"};
+    full.select_list.push_back(MakeColumnRef("t2", "c4"));
+    full.select_list.push_back(
+        MakeAggregate(AggFunc::kMin, MakeColumnRef("t2", "c4"), false));
+    full.group_by.push_back(MakeColumnRef("t2", "c4"));
+    full.having =
+        MakeBinary(BinaryOp::kGt, MakeCountStar(), MakeIntLiteral(1));
+    ExprPtr pred = MakeBinary(BinaryOp::kEq, MakeColumnRef("t2", "c4"),
+                              MakeTextLiteral("ab"));
+    sqlmeta::TlpPlan plan;
+    std::string error;
+    if (sqlmeta::BuildTlpPlan(full, *pred, &plan, &error)) {
+      for (auto& partition : plan.partitions) {
+        corpus.push_back(std::move(partition));
+      }
+    }
   }
 
   return corpus;
