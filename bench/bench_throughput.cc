@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/recorder.h"
 #include "src/minidb/database.h"
 #include "src/pqs/runner.h"
 #include "src/sqlite3db/sqlite_connection.h"
@@ -34,6 +35,9 @@ struct SweepPoint {
   double tests_per_second = 0;  // oracle-checked queries ("tests")
   uint64_t statements = 0;
   uint64_t tests = 0;
+  // Per-session wall-clock latency tail of the best rep (recorder.h).
+  std::string latency_json;
+  double p99_ms = 0;
 };
 
 SweepPoint MeasureWorkers(int workers) {
@@ -42,6 +46,10 @@ SweepPoint MeasureWorkers(int workers) {
   opts.databases = 192;
   opts.queries_per_database = 25;
   opts.workers = workers;
+  bench::LatencyRecorder recorder;
+  opts.session_latency_hook = [&recorder](int /*db_index*/, double seconds) {
+    recorder.Record(seconds);
+  };
   EngineFactory factory = []() -> ConnectionPtr {
     return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
   };
@@ -50,8 +58,11 @@ SweepPoint MeasureWorkers(int workers) {
   point.workers = workers;
   point.seconds = 1e30;
   // Best of three repetitions: the workload is identical each time, so the
-  // minimum is the least-noisy estimate of the achievable rate.
+  // minimum is the least-noisy estimate of the achievable rate. The
+  // latency percentiles are snapshotted from whichever rep wins, so the
+  // tail numbers describe the same run as the headline rate.
   for (int rep = 0; rep < 3; ++rep) {
+    recorder.Clear();
     PqsRunner runner(factory, opts);
     auto start = std::chrono::steady_clock::now();
     RunReport report = runner.Run();
@@ -61,6 +72,8 @@ SweepPoint MeasureWorkers(int workers) {
       point.seconds = elapsed.count();
       point.statements = report.stats.statements_executed;
       point.tests = report.stats.queries_checked;
+      point.latency_json = recorder.JsonFields();
+      point.p99_ms = recorder.Percentile(99) * 1e3;
     }
   }
   if (point.seconds > 0) {
@@ -69,6 +82,85 @@ SweepPoint MeasureWorkers(int workers) {
     point.tests_per_second = static_cast<double>(point.tests) / point.seconds;
   }
   return point;
+}
+
+// Zipf-skewed table-size workload: session bucket of rank k gets a
+// database share proportional to 1/k, so the workload is dominated by
+// small-table sessions with a heavy tail of large ones — the shape a
+// long-running fuzzing campaign actually sees (most generated schemas are
+// small; occasionally the generator rolls a large cross product). The
+// tail buckets are what stress per-row costs; the recorder's percentiles
+// make their latency visible next to the aggregate rate.
+std::string MeasureZipfWorkload() {
+  struct Bucket {
+    int max_rows;
+    int databases;  // 96 total, split by zipf(s=1) weights 1/k
+    double seconds = 0;
+    uint64_t statements = 0;
+  };
+  // Weights 1, 1/2, 1/3, 1/4 over 96 databases → 46, 23, 15, 12.
+  Bucket buckets[] = {{4, 46}, {8, 23}, {16, 15}, {32, 12}};
+
+  bench::LatencyRecorder recorder;
+  EngineFactory factory = []() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+  };
+  double total_seconds = 0;
+  uint64_t total_statements = 0;
+  for (Bucket& bucket : buckets) {
+    RunnerOptions opts;
+    opts.seed = 20200604 + static_cast<uint64_t>(bucket.max_rows);
+    opts.databases = bucket.databases;
+    opts.queries_per_database = 25;
+    opts.gen.min_rows = bucket.max_rows / 2;
+    opts.gen.max_rows = bucket.max_rows;
+    opts.session_latency_hook = [&recorder](int /*db*/, double seconds) {
+      recorder.Record(seconds);
+    };
+    PqsRunner runner(factory, opts);
+    auto start = std::chrono::steady_clock::now();
+    RunReport report = runner.Run();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    bucket.seconds = elapsed.count();
+    bucket.statements = report.stats.statements_executed;
+    total_seconds += bucket.seconds;
+    total_statements += bucket.statements;
+  }
+
+  bench::PrintHeader("Zipf-skewed table sizes: session latency tail");
+  printf("%10s %10s %10s %14s\n", "max_rows", "databases", "seconds",
+         "stmts/sec");
+  for (const Bucket& bucket : buckets) {
+    printf("%10d %10d %10.4f %14.0f\n", bucket.max_rows, bucket.databases,
+           bucket.seconds,
+           bucket.seconds > 0
+               ? static_cast<double>(bucket.statements) / bucket.seconds
+               : 0.0);
+  }
+  printf("  aggregate: %.4fs, %.0f stmts/sec; session latency %s\n",
+         total_seconds,
+         total_seconds > 0
+             ? static_cast<double>(total_statements) / total_seconds
+             : 0.0,
+         recorder.JsonFields().c_str());
+
+  std::string json = "  \"zipf_workload\": {\"buckets\": [\n";
+  for (size_t i = 0; i < sizeof buckets / sizeof buckets[0]; ++i) {
+    const Bucket& bucket = buckets[i];
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"max_rows\": %d, \"databases\": %d, "
+                  "\"seconds\": %.6f, \"statements_per_second\": %.1f}%s\n",
+                  bucket.max_rows, bucket.databases, bucket.seconds,
+                  bucket.seconds > 0
+                      ? static_cast<double>(bucket.statements) / bucket.seconds
+                      : 0.0,
+                  i + 1 < sizeof buckets / sizeof buckets[0] ? "," : "");
+    json += buf;
+  }
+  json += "  ], \"session_latency\": {" + recorder.JsonFields() + "}},\n";
+  return json;
 }
 
 // Satellite: measure the SqliteConnection prepared-statement cache on the
@@ -186,16 +278,16 @@ void RunWorkerSweep(int max_workers, const std::string& extra_json) {
   bench::PrintHeader("Worker sweep: aggregate PQS throughput");
   printf("(minidb sqlite dialect, fixed seed; %u hardware thread(s) —\n"
          " speedup saturates at the core count)\n", cores);
-  printf("%8s %10s %16s %12s %8s\n", "workers", "seconds", "stmts/sec",
-         "tests/sec", "speedup");
+  printf("%8s %10s %16s %12s %8s %10s\n", "workers", "seconds", "stmts/sec",
+         "tests/sec", "speedup", "p99(ms)");
 
   std::vector<SweepPoint> sweep;
   for (int w : counts) sweep.push_back(MeasureWorkers(w));
   double base = sweep.front().tests_per_second;
   for (const SweepPoint& p : sweep) {
-    printf("%8d %10.4f %16.0f %12.0f %7.2fx\n", p.workers, p.seconds,
+    printf("%8d %10.4f %16.0f %12.0f %7.2fx %10.3f\n", p.workers, p.seconds,
            p.statements_per_second, p.tests_per_second,
-           base > 0 ? p.tests_per_second / base : 0.0);
+           base > 0 ? p.tests_per_second / base : 0.0, p.p99_ms);
   }
 
   std::string json = "{\n  \"bench\": \"throughput\",\n";
@@ -206,15 +298,16 @@ void RunWorkerSweep(int max_workers, const std::string& extra_json) {
   json += "  \"worker_sweep\": [\n";
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
-    char buf[256];
+    char buf[512];
     std::snprintf(buf, sizeof buf,
                   "    {\"workers\": %d, \"seconds\": %.6f, "
                   "\"statements_per_second\": %.1f, "
-                  "\"tests_per_second\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+                  "\"tests_per_second\": %.1f, \"speedup_vs_1\": %.3f, "
+                  "\"session_latency\": {%s}}%s\n",
                   p.workers, p.seconds, p.statements_per_second,
                   p.tests_per_second,
                   base > 0 ? p.tests_per_second / base : 0.0,
-                  i + 1 < sweep.size() ? "," : "");
+                  p.latency_json.c_str(), i + 1 < sweep.size() ? "," : "");
     json += buf;
   }
   json += "  ]\n}";
@@ -296,7 +389,8 @@ int main(int argc, char** argv) {
   argc = out;
   if (max_workers < 1) max_workers = 1;
 
-  pqs::RunWorkerSweep(max_workers, pqs::MeasureSqliteStmtCache());
+  pqs::RunWorkerSweep(max_workers,
+                      pqs::MeasureSqliteStmtCache() + pqs::MeasureZipfWorkload());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

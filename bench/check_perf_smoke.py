@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate over BENCH_throughput.json.
+
+Fails (exit 1) when the bench JSON is missing the tail-latency /
+zipf-workload structure DESIGN §11 promises, or when the 1-worker sweep
+throughput drops more than 30% below the checked-in floor
+(bench/throughput_floor.json). Keys are asserted by name so a refactor
+that silently drops a reported metric breaks CI, not the perf trajectory.
+
+Usage: check_perf_smoke.py BENCH_throughput.json throughput_floor.json
+"""
+
+import json
+import sys
+
+LATENCY_KEYS = ("count", "mean_ms", "p50_ms", "p99_ms", "p999_ms")
+
+
+def fail(msg):
+    print("perf-smoke FAIL: " + msg)
+    sys.exit(1)
+
+
+def check_latency(obj, where):
+    if not isinstance(obj, dict):
+        fail("%s is not an object" % where)
+    for key in LATENCY_KEYS:
+        if key not in obj:
+            fail("%s is missing %r" % (where, key))
+    if obj["count"] <= 0:
+        fail("%s recorded no samples" % where)
+
+
+def main(argv):
+    if len(argv) != 3:
+        fail("usage: check_perf_smoke.py BENCH.json FLOOR.json")
+    with open(argv[1]) as f:
+        bench = json.load(f)
+    with open(argv[2]) as f:
+        floor = json.load(f)
+
+    sweep = bench.get("worker_sweep")
+    if not sweep:
+        fail("worker_sweep missing or empty")
+    for point in sweep:
+        check_latency(point.get("session_latency"),
+                      "worker_sweep[workers=%s].session_latency"
+                      % point.get("workers"))
+
+    zipf = bench.get("zipf_workload")
+    if not isinstance(zipf, dict):
+        fail("zipf_workload section missing")
+    if not zipf.get("buckets"):
+        fail("zipf_workload.buckets missing or empty")
+    check_latency(zipf.get("session_latency"), "zipf_workload.session_latency")
+
+    one_worker = [p for p in sweep if p.get("workers") == 1]
+    if not one_worker:
+        fail("no 1-worker sweep point")
+    got = one_worker[0].get("statements_per_second", 0.0)
+    floor_value = floor["statements_per_second_1worker"]
+    minimum = 0.7 * floor_value
+    if got < minimum:
+        fail("1-worker throughput %.0f stmts/sec is below %.0f "
+             "(70%% of the checked-in floor %.0f)"
+             % (got, minimum, floor_value))
+
+    print("perf-smoke OK: 1-worker %.0f stmts/sec (floor %.0f), "
+          "latency + zipf keys present" % (got, floor_value))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

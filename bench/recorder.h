@@ -1,0 +1,90 @@
+// Latency recorder: per-session samples in, tail percentiles out.
+//
+// The throughput sweep's headline number (statements/sec) hides tail
+// behavior — one database session with a pathological cross product can
+// stall a worker while the average stays flat. The runner's
+// `session_latency_hook` feeds one wall-clock sample per completed
+// database session into a LatencyRecorder; the bench reports p50/p99/p999
+// next to the mean so tail regressions are visible in
+// BENCH_throughput.json, not just local-run vibes.
+#ifndef PQS_BENCH_RECORDER_H_
+#define PQS_BENCH_RECORDER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pqs {
+namespace bench {
+
+// Collects latency samples (seconds) and reports nearest-rank percentiles.
+// Record() is thread-safe — the runner fires the session hook from worker
+// threads; everything else is meant for the single-threaded reporting
+// phase after the run.
+class LatencyRecorder {
+ public:
+  void Record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(seconds);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
+  // Nearest-rank percentile (p in [0, 100]) over all recorded samples;
+  // 0.0 when nothing was recorded. p=50 on a sorted list of n picks
+  // element ceil(n * 0.50) (1-based), the classic nearest-rank rule.
+  double Percentile(double p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0) return sorted.front();
+    if (p >= 100) return sorted.back();
+    size_t rank = static_cast<size_t>(
+        (p / 100.0) * static_cast<double>(sorted.size()) + 0.9999999);
+    if (rank < 1) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+  }
+
+  double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) return 0.0;
+    double total = 0.0;
+    for (double s : samples_) total += s;
+    return total / static_cast<double>(samples_.size());
+  }
+
+  // JSON object body (no braces) with the standard tail fields, latencies
+  // in milliseconds: "count": N, "mean_ms": ..., "p50_ms": ...,
+  // "p99_ms": ..., "p999_ms": ...
+  std::string JsonFields() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "\"count\": %zu, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                  "\"p99_ms\": %.4f, \"p999_ms\": %.4f",
+                  count(), Mean() * 1e3, Percentile(50) * 1e3,
+                  Percentile(99) * 1e3, Percentile(99.9) * 1e3);
+    return buf;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+}  // namespace bench
+}  // namespace pqs
+
+#endif  // PQS_BENCH_RECORDER_H_

@@ -1,0 +1,63 @@
+#include "src/common/interner.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace pqs {
+
+namespace {
+
+struct GlobalTable {
+  std::mutex mu;
+  std::unordered_map<std::string, int32_t> ids;
+  std::deque<std::string> names;  // deque: stable references across growth
+};
+
+GlobalTable* global() {
+  static GlobalTable* t = new GlobalTable;  // leaked: outlives thread caches
+  return t;
+}
+
+// Per-thread read-through cache. Campaigns reuse a few dozen names, so
+// after warmup every Intern() is one local hash lookup, no lock.
+std::unordered_map<std::string, int32_t>& thread_cache() {
+  static thread_local std::unordered_map<std::string, int32_t> cache;
+  return cache;
+}
+
+}  // namespace
+
+int32_t Interner::Intern(const std::string& name) {
+  auto& cache = thread_cache();
+  auto hit = cache.find(name);
+  if (hit != cache.end()) return hit->second;
+
+  GlobalTable* t = global();
+  int32_t id;
+  {
+    std::lock_guard<std::mutex> lock(t->mu);
+    auto [it, inserted] =
+        t->ids.emplace(name, static_cast<int32_t>(t->names.size()));
+    if (inserted) t->names.push_back(name);
+    id = it->second;
+  }
+  cache.emplace(name, id);
+  return id;
+}
+
+std::string Interner::Name(int32_t id) {
+  if (id < 0) return std::string();
+  GlobalTable* t = global();
+  std::lock_guard<std::mutex> lock(t->mu);
+  if (static_cast<size_t>(id) >= t->names.size()) return std::string();
+  return t->names[static_cast<size_t>(id)];
+}
+
+size_t Interner::Size() {
+  GlobalTable* t = global();
+  std::lock_guard<std::mutex> lock(t->mu);
+  return t->names.size();
+}
+
+}  // namespace pqs

@@ -1,0 +1,42 @@
+// Process-global symbol interner for table and column names.
+//
+// Maps each distinct name to a dense int32 id, so the hot comparisons of
+// the session loop — ColumnRef resolution against a RowSchema, index-key
+// and table lookups in MiniDB, schema identity checks — become integer
+// equality instead of string compares.
+//
+// Ids are assigned first-come-first-served across every thread of the
+// campaign, which makes the *numeric value* of an id dependent on thread
+// timing. That is safe precisely because ids are only ever used for
+// EQUALITY: nothing orders, hashes into reports, or prints an id, so the
+// byte-identical N-worker determinism guarantee is untouched (DESIGN §11).
+//
+// The global table lives behind a mutex; a thread-local cache in front of
+// it makes the steady state (every campaign reuses the same few dozen
+// names) lock-free.
+#ifndef PQS_SRC_COMMON_INTERNER_H_
+#define PQS_SRC_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pqs {
+
+class Interner {
+ public:
+  static constexpr int32_t kInvalidSymbol = -1;
+
+  // Id of `name`, interning it on first sight. Never fails.
+  static int32_t Intern(const std::string& name);
+
+  // The interned string for an id. Returns the empty string for
+  // kInvalidSymbol or an id never handed out.
+  static std::string Name(int32_t id);
+
+  // Number of distinct symbols interned so far (test telemetry).
+  static size_t Size();
+};
+
+}  // namespace pqs
+
+#endif  // PQS_SRC_COMMON_INTERNER_H_

@@ -1,0 +1,334 @@
+#include "src/interp/bytecode.h"
+
+#include <atomic>
+#include <utility>
+
+#include "src/interp/eval_internal.h"
+#include "src/sqlexpr/registry.h"
+
+namespace pqs {
+
+namespace {
+
+std::atomic<bool> g_bytecode_enabled{true};
+
+// Emits postfix code for `e`. Returns false when some column reference does
+// not resolve against the schema — the whole program is then invalid and
+// Run defers to the tree evaluator, which reports the proper error.
+bool CompileNode(const Expr& e, const RowSchema& schema, Dialect dialect,
+                 std::vector<Instr>* code) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      code->push_back({OpCode::kPushLiteral, -1, &e});
+      return true;
+
+    case ExprKind::kColumnRef: {
+      int idx = schema.Resolve(e);
+      if (idx < 0) return false;
+      code->push_back({OpCode::kPushColumn, idx, &e});
+      return true;
+    }
+
+    case ExprKind::kUnary:
+      if (e.args.size() != 1 || e.args[0] == nullptr) return false;
+      if (!CompileNode(*e.args[0], schema, dialect, code)) return false;
+      code->push_back(
+          {e.uop == UnaryOp::kNot ? OpCode::kNot : OpCode::kNeg, -1, &e});
+      return true;
+
+    case ExprKind::kBinary: {
+      if (e.args.size() != 2 || e.args[0] == nullptr || e.args[1] == nullptr) {
+        return false;
+      }
+      if (!CompileNode(*e.args[0], schema, dialect, code)) return false;
+      if (!CompileNode(*e.args[1], schema, dialect, code)) return false;
+      OpCode op;
+      if (e.bop == BinaryOp::kAnd) {
+        op = OpCode::kAnd;
+      } else if (e.bop == BinaryOp::kOr) {
+        op = OpCode::kOr;
+      } else if (IsComparisonOp(e.bop)) {
+        op = OpCode::kCompare;
+      } else if (IsArithmeticOp(e.bop)) {
+        op = OpCode::kArith;
+      } else {
+        op = OpCode::kConcat;
+      }
+      code->push_back({op, -1, &e});
+      return true;
+    }
+
+    case ExprKind::kIsNull:
+      if (e.args.size() != 1 || e.args[0] == nullptr) return false;
+      // Hazard shape: kIsNullArithLost answers WITHOUT evaluating an
+      // arithmetic operand; postfix order would evaluate it first and could
+      // surface an error the tree path never sees. Keep the tree path.
+      if (e.args[0]->kind == ExprKind::kBinary &&
+          IsArithmeticOp(e.args[0]->bop)) {
+        code->push_back({OpCode::kTreeEval, -1, &e});
+        return true;
+      }
+      if (!CompileNode(*e.args[0], schema, dialect, code)) return false;
+      code->push_back({OpCode::kIsNull, -1, &e});
+      return true;
+
+    case ExprKind::kBetween: {
+      if (e.args.size() != 3 || e.args[0] == nullptr ||
+          e.args[1] == nullptr || e.args[2] == nullptr) {
+        return false;
+      }
+      // Hazard shape: kBetweenSwapError errors out BEFORE evaluating the
+      // operands when both bounds are non-NULL literals in inverted order.
+      const Expr& lo = *e.args[1];
+      const Expr& hi = *e.args[2];
+      if (lo.kind == ExprKind::kLiteral && hi.kind == ExprKind::kLiteral &&
+          !lo.literal.is_null() && !hi.literal.is_null() &&
+          ValueCompare(lo.literal, hi.literal) > 0) {
+        code->push_back({OpCode::kTreeEval, -1, &e});
+        return true;
+      }
+      if (!CompileNode(*e.args[0], schema, dialect, code)) return false;
+      if (!CompileNode(*e.args[1], schema, dialect, code)) return false;
+      if (!CompileNode(*e.args[2], schema, dialect, code)) return false;
+      code->push_back({OpCode::kBetween, -1, &e});
+      return true;
+    }
+
+    case ExprKind::kCast:
+      if (e.args.size() != 1 || e.args[0] == nullptr) return false;
+      if (!CompileNode(*e.args[0], schema, dialect, code)) return false;
+      code->push_back({OpCode::kCast, -1, &e});
+      return true;
+
+    case ExprKind::kCollate:
+      // Value passes through; the enclosing kCompare reads the collation
+      // from its own operand nodes (which stay the kCollate nodes).
+      if (e.args.size() != 1 || e.args[0] == nullptr) return false;
+      return CompileNode(*e.args[0], schema, dialect, code);
+
+    case ExprKind::kFunctionCall: {
+      // The tree evaluator checks availability and arity BEFORE evaluating
+      // any argument; hoist those checks to compile time so the postfix
+      // order cannot surface an argument error the tree path never sees.
+      // COALESCE stays on the tree path (lazy argument evaluation).
+      const FunctionSig& sig = LookupFunction(e.func);
+      const int argc = static_cast<int>(e.args.size());
+      if (e.func == FuncId::kCoalesce || !sig.available(dialect) ||
+          argc < sig.min_args || argc > sig.max_args) {
+        code->push_back({OpCode::kTreeEval, -1, &e});
+        return true;
+      }
+      for (const ExprPtr& a : e.args) {
+        if (a == nullptr) return false;
+        if (!CompileNode(*a, schema, dialect, code)) return false;
+      }
+      code->push_back({OpCode::kFunc, -1, &e});
+      return true;
+    }
+
+    case ExprKind::kInList:       // lazy item evaluation + early exit
+    case ExprKind::kLike:         // ESCAPE arg evaluated conditionally
+    case ExprKind::kCase:         // lazy arms
+    case ExprKind::kAggregate:    // scalar context error, tree-reported
+      code->push_back({OpCode::kTreeEval, -1, &e});
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BytecodeEnabled() {
+  return g_bytecode_enabled.load(std::memory_order_relaxed);
+}
+
+void SetBytecodeEnabled(bool enabled) {
+  g_bytecode_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+CompiledExpr CompileExpr(const Expr& root, const RowSchema& schema,
+                         Dialect dialect) {
+  CompiledExpr c;
+  c.root_ = &root;
+  c.code_.reserve(16);  // most generated expressions fit without regrowth
+  c.valid_ = CompileNode(root, schema, dialect, &c.code_);
+  if (!c.valid_) c.code_.clear();
+  return c;
+}
+
+EvalResult CompiledExpr::Run(const RowView& row, const EvalContext& ctx) const {
+  if (!valid_ || !BytecodeEnabled()) return Evaluate(*root_, row, ctx);
+
+  // Reused per-thread value stack. Run is reentrant (a kTreeEval subtree
+  // never re-enters Run, but nested scans interleave calls): every frame
+  // works relative to the stack size it entered with.
+  static thread_local std::vector<SqlValue> stack;
+  const size_t base = stack.size();
+  auto bail = [&](EvalResult r) {
+    stack.resize(base);
+    return r;
+  };
+
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case OpCode::kPushLiteral:
+        stack.push_back(ins.node->literal);
+        break;
+
+      case OpCode::kPushColumn:
+        if (row.schema == nullptr || row.values == nullptr) {
+          return bail(
+              EvalResult::Error("column reference outside a row context"));
+        }
+        stack.push_back((*row.values)[static_cast<size_t>(ins.slot)]);
+        break;
+
+      case OpCode::kNot: {
+        SqlValue& v = stack.back();
+        Bool3 b = Truthiness(v, ctx.dialect);
+        if (b == Bool3::kNull && ctx.BugEnabled(BugId::kNotNullNot)) {
+          v = SqlValue::Bool(false);
+        } else {
+          v = SqlValue::FromBool3(Not3(b));
+        }
+        break;
+      }
+
+      case OpCode::kNeg: {
+        SqlValue& v = stack.back();
+        if (v.is_null()) {
+          v = SqlValue::Null();
+        } else if (v.cls == StorageClass::kInteger) {
+          v = SqlValue::Int(-v.i);
+        } else if (v.cls == StorageClass::kReal) {
+          v = SqlValue::Real(-v.r);
+        } else if (ctx.dialect == Dialect::kPostgresStrict) {
+          return bail(EvalResult::Error("operator does not exist: -text"));
+        } else {
+          v = SqlValue::Real(-ParseNumericPrefix(v.t));
+        }
+        break;
+      }
+
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        SqlValue b = std::move(stack.back());
+        stack.pop_back();
+        SqlValue& a = stack.back();
+        Bool3 ta = Truthiness(a, ctx.dialect);
+        Bool3 tb = Truthiness(b, ctx.dialect);
+        a = SqlValue::FromBool3(ins.op == OpCode::kAnd ? And3(ta, tb)
+                                                       : Or3(ta, tb));
+        break;
+      }
+
+      case OpCode::kCompare: {
+        SqlValue b = std::move(stack.back());
+        stack.pop_back();
+        SqlValue& a = stack.back();
+        EvalResult r =
+            evalin::Compare(ins.node->bop, ins.node->args[0].get(),
+                            ins.node->args[1].get(), a, b, ctx);
+        if (r.error) return bail(std::move(r));
+        a = std::move(r.value);
+        break;
+      }
+
+      case OpCode::kArith: {
+        SqlValue b = std::move(stack.back());
+        stack.pop_back();
+        SqlValue& a = stack.back();
+        EvalResult r = evalin::Arithmetic(*ins.node, a, b, ctx);
+        if (r.error) return bail(std::move(r));
+        a = std::move(r.value);
+        break;
+      }
+
+      case OpCode::kConcat: {
+        SqlValue b = std::move(stack.back());
+        stack.pop_back();
+        SqlValue& a = stack.back();
+        if (ctx.BugEnabled(BugId::kConcatNumericError) &&
+            (a.is_numeric() || b.is_numeric())) {
+          return bail(EvalResult::Error(
+              "cannot concatenate non-text operand (spurious)"));
+        }
+        if (ctx.dialect == Dialect::kPostgresStrict &&
+            (a.is_numeric() || b.is_numeric())) {
+          return bail(
+              EvalResult::Error("operator does not exist: || with non-text"));
+        }
+        if (a.is_null() || b.is_null()) {
+          a = SqlValue::Null();
+        } else {
+          a = SqlValue::Text(evalin::ConcatOperand(a) +
+                             evalin::ConcatOperand(b));
+        }
+        break;
+      }
+
+      case OpCode::kIsNull: {
+        SqlValue& v = stack.back();
+        v = SqlValue::Bool(v.is_null() != ins.node->negated);
+        break;
+      }
+
+      case OpCode::kBetween: {
+        SqlValue hi = std::move(stack.back());
+        stack.pop_back();
+        SqlValue lo = std::move(stack.back());
+        stack.pop_back();
+        SqlValue& v = stack.back();
+        const Expr& node = *ins.node;
+        EvalResult above =
+            evalin::Compare(BinaryOp::kGe, node.args[0].get(),
+                            node.args[1].get(), v, lo, ctx);
+        if (above.error) return bail(std::move(above));
+        EvalResult below =
+            evalin::Compare(BinaryOp::kLe, node.args[0].get(),
+                            node.args[2].get(), v, hi, ctx);
+        if (below.error) return bail(std::move(below));
+        Bool3 r = And3(Truthiness(above.value, ctx.dialect),
+                       Truthiness(below.value, ctx.dialect));
+        if (node.negated) r = Not3(r);
+        v = SqlValue::FromBool3(r);
+        break;
+      }
+
+      case OpCode::kCast: {
+        SqlValue& v = stack.back();
+        EvalResult r = evalin::EvaluateCast(*ins.node, v, ctx);
+        if (r.error) return bail(std::move(r));
+        v = std::move(r.value);
+        break;
+      }
+
+      case OpCode::kFunc: {
+        const size_t argc = ins.node->args.size();
+        std::vector<SqlValue> args;
+        args.reserve(argc);
+        for (size_t i = stack.size() - argc; i < stack.size(); ++i) {
+          args.push_back(std::move(stack[i]));
+        }
+        stack.resize(stack.size() - argc);
+        EvalResult r = evalin::ApplyFunction(*ins.node, std::move(args), ctx);
+        if (r.error) return bail(std::move(r));
+        stack.push_back(std::move(r.value));
+        break;
+      }
+
+      case OpCode::kTreeEval: {
+        EvalResult r = Evaluate(*ins.node, row, ctx);
+        if (r.error) return bail(std::move(r));
+        stack.push_back(std::move(r.value));
+        break;
+      }
+    }
+  }
+
+  EvalResult out = EvalResult::Of(std::move(stack.back()));
+  stack.resize(base);
+  return out;
+}
+
+}  // namespace pqs

@@ -8,9 +8,30 @@
 #include <limits>
 #include <utility>
 
+#include "src/common/interner.h"
+#include "src/interp/bytecode.h"
+#include "src/interp/eval_internal.h"
 #include "src/sqlexpr/registry.h"
 
 namespace pqs {
+
+void RowSchema::Add(const std::string& table, const std::string& column) {
+  cols.emplace_back(table, column);
+  ids.emplace_back(table.empty() ? Interner::kInvalidSymbol
+                                 : Interner::Intern(table),
+                   Interner::Intern(column));
+}
+
+int RowSchema::Resolve(const Expr& column_ref) const {
+  if (!has_ids()) return IndexOf(column_ref.table, column_ref.column);
+  if (column_ref.column_sym == Expr::kSymUnresolved) {
+    column_ref.table_sym = column_ref.table.empty()
+                               ? Interner::kInvalidSymbol
+                               : Interner::Intern(column_ref.table);
+    column_ref.column_sym = Interner::Intern(column_ref.column);
+  }
+  return IndexOfSyms(column_ref.table_sym, column_ref.column_sym);
+}
 
 namespace {
 
@@ -36,6 +57,12 @@ int TextCompareFold(const std::string& a, const std::string& b) {
   return 0;
 }
 
+}  // namespace
+
+// The semantic kernels below live in evalin (declared in eval_internal.h)
+// so the bytecode evaluator shares them verbatim; see that header.
+namespace evalin {
+
 // Numeric coercion in arithmetic position: SQLite and MySQL both take the
 // numeric prefix of text ('12ab' → 12, 'x' → 0). An integer-looking prefix
 // yields an INTEGER — that keeps '12'/5 doing integer division exactly
@@ -52,9 +79,11 @@ SqlValue ArithValue(const SqlValue& v) {
   return SqlValue::Real(as_real);
 }
 
-double ArithOperand(const SqlValue& v) { return ArithValue(v).AsReal(); }
-
 std::string ConcatOperand(const SqlValue& v) { return v.ToDisplay(); }
+
+}  // namespace evalin
+
+namespace {
 
 bool IsNegativeIntLiteral(const Expr& e) {
   return e.kind == ExprKind::kLiteral &&
@@ -77,6 +106,10 @@ bool ExplicitCollation(const Expr* lhs, const Expr* rhs, Collation* out) {
   }
   return false;
 }
+
+}  // namespace
+
+namespace evalin {
 
 // Three-valued comparison honoring dialect coercion rules. The raw Expr
 // operands (nullable for synthetic comparisons inside IN/BETWEEN) are
@@ -312,8 +345,6 @@ EvalResult EvaluateFunction(const Expr& expr, const RowView& row,
                              sig.NameFor(ctx.dialect));
   }
 
-  bool strict = ctx.dialect == Dialect::kPostgresStrict;
-
   // COALESCE evaluates lazily (a later argument must not be able to fail
   // the call once an earlier one is non-NULL); everything else evaluates
   // all arguments up front and applies the registry's NULL rule.
@@ -341,6 +372,13 @@ EvalResult EvaluateFunction(const Expr& expr, const RowView& row,
     if (v.error) return v;
     args.push_back(std::move(v.value));
   }
+  return ApplyFunction(expr, std::move(args), ctx);
+}
+
+EvalResult ApplyFunction(const Expr& expr, std::vector<SqlValue> args,
+                         const EvalContext& ctx) {
+  const FunctionSig& sig = LookupFunction(expr.func);
+  bool strict = ctx.dialect == Dialect::kPostgresStrict;
   if (sig.null_rule == NullRule::kPropagate) {
     for (const SqlValue& v : args) {
       if (v.is_null()) return EvalResult::Of(SqlValue::Null());
@@ -464,7 +502,14 @@ EvalResult EvaluateCast(const Expr& expr, const SqlValue& v,
   return EvalResult::Of(v);
 }
 
-}  // namespace
+}  // namespace evalin
+
+// Unqualified names below keep reading as before the evalin split.
+using evalin::Compare;
+using evalin::Arithmetic;
+using evalin::EvaluateFunction;
+using evalin::EvaluateCast;
+using evalin::ConcatOperand;
 
 bool LikeMatch(const std::string& text, const std::string& pattern,
                bool case_insensitive, int escape) {
@@ -545,7 +590,7 @@ EvalResult Evaluate(const Expr& expr, const RowView& row,
       if (row.schema == nullptr || row.values == nullptr) {
         return EvalResult::Error("column reference outside a row context");
       }
-      int idx = row.schema->IndexOf(expr.table, expr.column);
+      int idx = row.schema->Resolve(expr);
       if (idx < 0) {
         return EvalResult::Error("no such column: " + expr.column);
       }
@@ -813,6 +858,16 @@ bool JoinRows(const std::vector<JoinInput>& inputs,
     RowSchema next_schema = schema;
     next_schema.cols.insert(next_schema.cols.end(), right.schema.cols.begin(),
                             right.schema.cols.end());
+    if (schema.has_ids() && right.schema.has_ids()) {
+      next_schema.ids.insert(next_schema.ids.end(), right.schema.ids.begin(),
+                             right.schema.ids.end());
+    } else {
+      next_schema.ids.clear();
+    }
+    // The ON condition runs once per row *pair* — compile it against the
+    // combined schema instead of re-resolving columns pair by pair.
+    CompiledExpr on_code;
+    if (on != nullptr) on_code = CompileExpr(*on, next_schema, ctx.dialect);
     std::vector<std::vector<SqlValue>> next;
     for (const std::vector<SqlValue>& lrow : acc) {
       bool matched = false;
@@ -823,7 +878,7 @@ bool JoinRows(const std::vector<JoinInput>& inputs,
         combined.insert(combined.end(), rrow.begin(), rrow.end());
         if (on != nullptr) {
           RowView view{&next_schema, &combined};
-          EvalResult r = Evaluate(*on, view, ctx);
+          EvalResult r = on_code.Run(view, ctx);
           if (r.error) {
             if (error != nullptr) *error = r.message;
             return false;
@@ -883,10 +938,37 @@ bool DistinctRowsEqual(const std::vector<SqlValue>& a,
 
 std::vector<size_t> DistinctKeepIndexes(
     const std::vector<std::vector<SqlValue>>& rows, const EvalContext& ctx) {
-  // Quadratic first-occurrence scan: result sets are small (bounded by the
-  // cross product of a handful of ≤12-row tables), and the bug hook wants
-  // pairwise equality rather than an order-consistent sort key.
   std::vector<size_t> kept;
+  // Sort-based dedup for clean equality: ValueCompare's total order has
+  // compare==0 exactly when ValueEquals holds (NULLs equal, numerics by
+  // value, text by bytes — there is no second non-numeric class), so the
+  // first index of each equal-run is the first occurrence. The
+  // kDistinctTruncMerge bug hook wants pairwise equality under a relation
+  // that is not order-consistent (trunc buckets), so it keeps the
+  // quadratic scan below.
+  if (!ctx.BugEnabled(BugId::kDistinctTruncMerge) && rows.size() > 16) {
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&rows](size_t x, size_t y) {
+      const std::vector<SqlValue>& a = rows[x];
+      const std::vector<SqlValue>& b = rows[y];
+      size_t common = std::min(a.size(), b.size());
+      for (size_t i = 0; i < common; ++i) {
+        int c = ValueCompare(a[i], b[i]);
+        if (c != 0) return c < 0;
+      }
+      if (a.size() != b.size()) return a.size() < b.size();
+      return x < y;  // stable within an equal-run: first occurrence leads
+    });
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i > 0 && DistinctRowsEqual(rows[order[i]], rows[order[i - 1]], ctx))
+        continue;
+      kept.push_back(order[i]);
+    }
+    std::sort(kept.begin(), kept.end());
+    return kept;
+  }
+  // Quadratic first-occurrence scan for small results and the bug hook.
   for (size_t i = 0; i < rows.size(); ++i) {
     bool duplicate = false;
     for (size_t k : kept) {
@@ -935,10 +1017,34 @@ bool SortIndexesByOrder(const RowSchema& schema,
                         const std::vector<OrderByItem>& order,
                         const EvalContext& ctx, std::vector<size_t>* perm,
                         std::string* error) {
+  if (rows.empty()) {
+    perm->clear();
+    return true;
+  }
+  // Key expressions run once per row: compile each once and evaluate the
+  // programs per row. EvalOrderKeys stays as the API for callers that only
+  // sort a handful of rows.
+  std::vector<CompiledExpr> key_code;
+  key_code.reserve(order.size());
+  for (const OrderByItem& item : order) {
+    if (item.expr == nullptr) {
+      if (error != nullptr) *error = "ORDER BY without key expression";
+      return false;
+    }
+    key_code.push_back(CompileExpr(*item.expr, schema, ctx.dialect));
+  }
   std::vector<std::vector<SqlValue>> keys(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     RowView view{&schema, &rows[i]};
-    if (!EvalOrderKeys(order, view, ctx, &keys[i], error)) return false;
+    keys[i].reserve(order.size());
+    for (const CompiledExpr& code : key_code) {
+      EvalResult r = code.Run(view, ctx);
+      if (r.error) {
+        if (error != nullptr) *error = r.message;
+        return false;
+      }
+      keys[i].push_back(std::move(r.value));
+    }
   }
   perm->resize(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) (*perm)[i] = i;
@@ -1135,16 +1241,26 @@ bool AggregateSelect(const SelectStmt& stmt, const RowSchema& schema,
       group_rows[0].push_back(i);
     }
   } else {
-    for (size_t i = 0; i < input_rows.size(); ++i) {
-      RowView view{&schema, &input_rows[i]};
-      std::vector<SqlValue> key;
-      key.reserve(stmt.group_by.size());
+    // Key expressions run once per input row: compile each once. Compiled
+    // lazily on the first row so an empty input still yields zero groups
+    // without touching the key expressions, as before.
+    std::vector<CompiledExpr> group_code;
+    if (!input_rows.empty()) {
+      group_code.reserve(stmt.group_by.size());
       for (const ExprPtr& g : stmt.group_by) {
         if (g == nullptr) {
           if (error != nullptr) *error = "GROUP BY without key expression";
           return false;
         }
-        EvalResult r = Evaluate(*g, view, ctx);
+        group_code.push_back(CompileExpr(*g, schema, ctx.dialect));
+      }
+    }
+    for (size_t i = 0; i < input_rows.size(); ++i) {
+      RowView view{&schema, &input_rows[i]};
+      std::vector<SqlValue> key;
+      key.reserve(stmt.group_by.size());
+      for (const CompiledExpr& code : group_code) {
+        EvalResult r = code.Run(view, ctx);
         if (r.error) {
           if (error != nullptr) *error = r.message;
           return false;
@@ -1183,10 +1299,21 @@ bool AggregateSelect(const SelectStmt& stmt, const RowSchema& schema,
   }
   if (stmt.having) CollectAggregates(*stmt.having, &agg_nodes);
 
+  // Aggregate operands run once per member row per group: compile each
+  // once. COUNT(*) has no operand, so its slot stays empty and unused.
+  std::vector<CompiledExpr> agg_code(agg_nodes.size());
+  for (size_t i = 0; i < agg_nodes.size(); ++i) {
+    const Expr* node = agg_nodes[i];
+    if (!node->agg_star && !node->args.empty() && node->args[0] != nullptr) {
+      agg_code[i] = CompileExpr(*node->args[0], schema, ctx.dialect);
+    }
+  }
+
   for (size_t g = 0; g < group_keys.size(); ++g) {
     auto compute = [&](const std::vector<size_t>& members,
                        std::vector<SqlValue>* out_vals) -> bool {
-      for (const Expr* node : agg_nodes) {
+      for (size_t ai = 0; ai < agg_nodes.size(); ++ai) {
+        const Expr* node = agg_nodes[ai];
         AggAccumulator acc(node->agg, node->agg_distinct, ctx);
         for (size_t ri : members) {
           if (node->agg_star) {
@@ -1194,7 +1321,7 @@ bool AggregateSelect(const SelectStmt& stmt, const RowSchema& schema,
             continue;
           }
           RowView view{&schema, &input_rows[ri]};
-          EvalResult r = Evaluate(*node->args[0], view, ctx);
+          EvalResult r = agg_code[ai].Run(view, ctx);
           if (r.error) {
             if (error != nullptr) *error = r.message;
             return false;
@@ -1254,6 +1381,26 @@ bool AggregateSelect(const SelectStmt& stmt, const RowSchema& schema,
 bool SameRowMultiset(const std::vector<std::vector<SqlValue>>& a,
                      const std::vector<std::vector<SqlValue>>& b) {
   if (a.size() != b.size()) return false;
+  // Ordered-equality fast path: the common case is the engine and the model
+  // holding the same rows in the same insertion order, so a pairwise scan
+  // settles it without sorting. A mismatch here is not a verdict — multisets
+  // can still agree in a different order — so fall through to the sort.
+  {
+    bool ordered_equal = true;
+    for (size_t r = 0; ordered_equal && r < a.size(); ++r) {
+      if (a[r].size() != b[r].size()) {
+        ordered_equal = false;
+        break;
+      }
+      for (size_t c = 0; c < a[r].size(); ++c) {
+        if (!ValueEquals(a[r][c], b[r][c])) {
+          ordered_equal = false;
+          break;
+        }
+      }
+    }
+    if (ordered_equal) return true;
+  }
   auto row_less = [](const std::vector<SqlValue>& x,
                      const std::vector<SqlValue>& y) {
     if (x.size() != y.size()) return x.size() < y.size();
@@ -1263,14 +1410,23 @@ bool SameRowMultiset(const std::vector<std::vector<SqlValue>>& a,
     }
     return false;
   };
-  std::vector<std::vector<SqlValue>> sa = a;
-  std::vector<std::vector<SqlValue>> sb = b;
-  std::sort(sa.begin(), sa.end(), row_less);
-  std::sort(sb.begin(), sb.end(), row_less);
+  // Sort row *pointers*, not row copies — state comparison runs after every
+  // mutation and row-deep copies dominated its profile.
+  std::vector<const std::vector<SqlValue>*> sa, sb;
+  sa.reserve(a.size());
+  sb.reserve(b.size());
+  for (const auto& row : a) sa.push_back(&row);
+  for (const auto& row : b) sb.push_back(&row);
+  auto ptr_less = [&row_less](const std::vector<SqlValue>* x,
+                              const std::vector<SqlValue>* y) {
+    return row_less(*x, *y);
+  };
+  std::sort(sa.begin(), sa.end(), ptr_less);
+  std::sort(sb.begin(), sb.end(), ptr_less);
   for (size_t r = 0; r < sa.size(); ++r) {
-    if (sa[r].size() != sb[r].size()) return false;
-    for (size_t c = 0; c < sa[r].size(); ++c) {
-      if (!ValueEquals(sa[r][c], sb[r][c])) return false;
+    if (sa[r]->size() != sb[r]->size()) return false;
+    for (size_t c = 0; c < sa[r]->size(); ++c) {
+      if (!ValueEquals((*sa[r])[c], (*sb[r])[c])) return false;
     }
   }
   return true;

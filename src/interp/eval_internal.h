@@ -1,0 +1,61 @@
+// Shared internals of the expression evaluator.
+//
+// These are the semantic kernels of src/interp/eval.cc — comparison with
+// dialect coercion and collation determination, arithmetic, the registry
+// function evaluator, CAST — factored out of the tree walker so the
+// bytecode evaluator (src/interp/bytecode.cc) executes the *same* code for
+// every leaf semantic, bug hook included. That sharing is the core of the
+// bytecode differential safety argument (DESIGN §11): the two evaluators
+// can only diverge in dispatch order, never in per-operator semantics.
+//
+// Not a public API: only eval.cc and bytecode.cc may include this.
+#ifndef PQS_SRC_INTERP_EVAL_INTERNAL_H_
+#define PQS_SRC_INTERP_EVAL_INTERNAL_H_
+
+#include <string>
+
+#include "src/interp/eval.h"
+
+namespace pqs {
+namespace evalin {
+
+// Numeric coercion in arithmetic position ('12ab' → 12, 'x' → 0; an
+// integer-looking prefix stays INTEGER so '12'/5 keeps integer division).
+SqlValue ArithValue(const SqlValue& v);
+
+// Text rendering of a value in || position.
+std::string ConcatOperand(const SqlValue& v);
+
+// Three-valued comparison honoring dialect coercion rules. The raw Expr
+// operands (nullable for synthetic comparisons inside IN/BETWEEN) ride
+// along because several injected bug classes and the COLLATE determination
+// trigger on the *shape* of the comparison, not just the values.
+EvalResult Compare(BinaryOp op, const Expr* lhs, const Expr* rhs,
+                   const SqlValue& a, const SqlValue& b,
+                   const EvalContext& ctx);
+
+// +, -, *, / with dialect coercion, wrap-safe integer math, and the
+// arithmetic bug hooks.
+EvalResult Arithmetic(const Expr& node, const SqlValue& a, const SqlValue& b,
+                      const EvalContext& ctx);
+
+// Registry-driven scalar function call (expr.kind == kFunctionCall).
+EvalResult EvaluateFunction(const Expr& expr, const RowView& row,
+                            const EvalContext& ctx);
+
+// Function body over already-evaluated arguments. Preconditions the caller
+// must have checked (the tree evaluator checks them before evaluating any
+// argument; the bytecode compiler checks them at compile time and falls
+// back to the tree on failure): the function is available in ctx.dialect,
+// the arg count is in range, and the function is not COALESCE (lazy).
+EvalResult ApplyFunction(const Expr& expr, std::vector<SqlValue> args,
+                         const EvalContext& ctx);
+
+// CAST of an already-evaluated operand (expr.kind == kCast).
+EvalResult EvaluateCast(const Expr& expr, const SqlValue& v,
+                        const EvalContext& ctx);
+
+}  // namespace evalin
+}  // namespace pqs
+
+#endif  // PQS_SRC_INTERP_EVAL_INTERNAL_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/interner.h"
+#include "src/interp/bytecode.h"
+
 namespace pqs {
 namespace minidb {
 
@@ -116,15 +119,6 @@ bool ContainsLongWildcardLike(const Expr& expr) {
   return false;
 }
 
-RowSchema SchemaFor(const std::string& table_name,
-                    const std::vector<ColumnDef>& columns) {
-  RowSchema schema;
-  for (const ColumnDef& def : columns) {
-    schema.cols.emplace_back(table_name, def.name);
-  }
-  return schema;
-}
-
 // True if the (nullable) partial-index predicate covers `row`.
 bool RowCoveredByPartial(const Expr* where, const RowSchema& schema,
                          const EvalContext& ctx,
@@ -134,6 +128,18 @@ bool RowCoveredByPartial(const Expr* where, const RowSchema& schema,
   bool error = false;
   return EvaluatePredicate(*where, view, ctx, &error) == Bool3::kTrue &&
          !error;
+}
+
+// Same, through the predicate program compiled at CREATE INDEX. Index
+// maintenance runs this once per row; the program falls back to the tree
+// evaluator when invalid, so results match RowCoveredByPartial exactly.
+bool RowCoveredByPartialCode(const Expr* where, const CompiledExpr& code,
+                             const RowSchema& schema, const EvalContext& ctx,
+                             const std::vector<SqlValue>& row) {
+  if (where == nullptr) return true;
+  RowView view{&schema, &row};
+  EvalResult r = code.Run(view, ctx);
+  return !r.error && Truthiness(r.value, ctx.dialect) == Bool3::kTrue;
 }
 
 // True if two rows collide on the key columns: every key value non-NULL
@@ -236,7 +242,11 @@ StatementResult Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
   }
   TableData table;
   table.name = stmt.table_name;
+  table.name_sym = Interner::Intern(stmt.table_name);
   table.columns = stmt.columns;
+  for (const ColumnDef& def : table.columns) {
+    table.schema.Add(table.name, def.name);
+  }
   tables_.push_back(std::move(table));
   return StatementResult::Ok();
 }
@@ -266,7 +276,7 @@ StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   if (stmt.unique) {
     // A unique index over existing duplicate data is a constraint
     // violation, not an engine error; the index is not created.
-    RowSchema schema = SchemaFor(table->name, table->columns);
+    const RowSchema& schema = table->schema;
     EvalContext ctx{dialect_, &bugs_};
     std::vector<int> key_indexes;
     for (const std::string& col : stmt.columns) {
@@ -295,15 +305,16 @@ StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
 
   IndexData index;
   index.name = stmt.index_name;
+  index.name_sym = Interner::Intern(stmt.index_name);
   index.table_name = stmt.table_name;
   index.columns = stmt.columns;
   index.unique = stmt.unique;
   index.where = stmt.where ? stmt.where->Clone() : nullptr;
-  {
-    RowSchema schema = SchemaFor(table->name, table->columns);
-    for (const std::string& col : stmt.columns) {
-      index.key_cols.push_back(schema.IndexOf(stmt.table_name, col));
-    }
+  if (index.where != nullptr) {
+    index.where_code = CompileExpr(*index.where, table->schema, dialect_);
+  }
+  for (const std::string& col : stmt.columns) {
+    index.key_cols.push_back(table->schema.IndexOf(stmt.table_name, col));
   }
   indexes_.push_back(std::move(index));
   RebuildIndex(&indexes_.back(), *table);
@@ -325,9 +336,11 @@ void Database::AddIndexEntry(IndexData* index, const TableData& table,
                              size_t pos) {
   const std::vector<SqlValue>& row = table.rows[pos];
   if (index->where != nullptr) {
-    RowSchema schema = SchemaFor(table.name, table.columns);
     EvalContext ctx{dialect_, &bugs_};
-    if (!RowCoveredByPartial(index->where.get(), schema, ctx, row)) return;
+    if (!RowCoveredByPartialCode(index->where.get(), index->where_code,
+                                 table.schema, ctx, row)) {
+      return;
+    }
   }
   std::pair<std::vector<SqlValue>, size_t> entry;
   entry.first.reserve(index->key_cols.size());
@@ -341,10 +354,29 @@ void Database::AddIndexEntry(IndexData* index, const TableData& table,
 }
 
 void Database::RebuildIndex(IndexData* index, const TableData& table) {
+  // Bulk build: collect every covered row's key, then one sort. Produces
+  // the same order the incremental upper_bound inserts would (KeyEntryLess
+  // tie-breaks on row position, so the order is total) without the
+  // per-row shifting that dominated UPDATE/DELETE profiles.
   index->entries.clear();
+  index->entries.reserve(table.rows.size());
+  EvalContext ctx{dialect_, &bugs_};
   for (size_t pos = 0; pos < table.rows.size(); ++pos) {
-    AddIndexEntry(index, table, pos);
+    const std::vector<SqlValue>& row = table.rows[pos];
+    if (index->where != nullptr &&
+        !RowCoveredByPartialCode(index->where.get(), index->where_code,
+                                 table.schema, ctx, row)) {
+      continue;
+    }
+    std::pair<std::vector<SqlValue>, size_t> entry;
+    entry.first.reserve(index->key_cols.size());
+    for (int c : index->key_cols) {
+      entry.first.push_back(row[static_cast<size_t>(c)]);
+    }
+    entry.second = pos;
+    index->entries.push_back(std::move(entry));
   }
+  std::sort(index->entries.begin(), index->entries.end(), KeyEntryLess);
 }
 
 
@@ -473,20 +505,18 @@ StatementResult Database::CheckConstraints(
   }
 
   // Unique indexes (including partial ones) also enforce uniqueness.
-  RowSchema schema = SchemaFor(table.name, table.columns);
+  const RowSchema& schema = table.schema;
   EvalContext ctx{dialect_, &bugs_};
   for (const IndexData& index : indexes_) {
     if (!index.unique || index.table_name != table.name) continue;
-    if (!RowCoveredByPartial(index.where.get(), schema, ctx, candidate)) {
+    if (!RowCoveredByPartialCode(index.where.get(), index.where_code, schema,
+                                 ctx, candidate)) {
       continue;
     }
-    std::vector<int> key_indexes;
-    for (const std::string& col : index.columns) {
-      key_indexes.push_back(schema.IndexOf(table.name, col));
-    }
     auto collides = [&](const std::vector<SqlValue>& other) {
-      return RowCoveredByPartial(index.where.get(), schema, ctx, other) &&
-             KeyColumnsCollide(key_indexes, other, candidate);
+      return RowCoveredByPartialCode(index.where.get(), index.where_code,
+                                     schema, ctx, other) &&
+             KeyColumnsCollide(index.key_cols, other, candidate);
     };
     for (size_t r = 0; r < table.rows.size(); ++r) {
       if (static_cast<int>(r) == exclude_row) continue;
@@ -534,7 +564,12 @@ StatementResult Database::ExecuteInsert(const InsertStmt& stmt) {
         return StatementResult::Failure(StatementStatus::kError,
                                         "missing value expression");
       }
-      EvalResult v = Evaluate(*row_exprs[c], no_row, ctx);
+      // Generated INSERT rows are almost always literal tuples; skip the
+      // evaluator dispatch for that common case.
+      const Expr& cell = *row_exprs[c];
+      EvalResult v = cell.kind == ExprKind::kLiteral
+                         ? EvalResult::Of(cell.literal)
+                         : Evaluate(cell, no_row, ctx);
       if (v.error) {
         return StatementResult::Failure(StatementStatus::kError, v.message);
       }
@@ -570,7 +605,7 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
     return StatementResult::Failure(StatementStatus::kError,
                                     "no such table: " + stmt.table_name);
   }
-  RowSchema schema = SchemaFor(table->name, table->columns);
+  const RowSchema& schema = table->schema;
   std::vector<std::pair<size_t, const Expr*>> targets;  // (column, value)
   for (const UpdateStmt::Assignment& a : stmt.assignments) {
     int c = schema.IndexOf(table->name, a.column);
@@ -605,7 +640,10 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
   EvalContext ctx{dialect_, &bugs_};
 
   // Pass 1: decide the matched set on the pre-update snapshot (SQL UPDATE
-  // semantics: the WHERE never observes this statement's own writes).
+  // semantics: the WHERE never observes this statement's own writes). The
+  // WHERE runs once per row — compile it once.
+  CompiledExpr where_code;
+  if (stmt.where != nullptr) where_code = CompileExpr(*stmt.where, schema, dialect_);
   std::vector<char> matched(table->rows.size(), 0);
   size_t matched_count = 0;
   for (size_t r = 0; r < table->rows.size(); ++r) {
@@ -615,8 +653,9 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
       continue;
     }
     RowView view{&schema, &table->rows[r]};
-    bool error = false;
-    Bool3 hit = EvaluatePredicate(*stmt.where, view, ctx, &error);
+    EvalResult evaluated = where_code.Run(view, ctx);
+    bool error = evaluated.error;
+    Bool3 hit = error ? Bool3::kNull : Truthiness(evaluated.value, dialect_);
     if (error) {
       return StatementResult::Failure(StatementStatus::kError,
                                       "UPDATE WHERE evaluation failed");
@@ -632,31 +671,49 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
 
   // Pass 2: apply in row order with immediate per-row constraint checks
   // (the SQLite visit-and-check model: a violation aborts the statement
-  // and the statement journal rolls every earlier row back).
-  std::vector<std::vector<SqlValue>> journal = table->rows;
+  // and rolls every earlier row back). The statement journal is sparse:
+  // (row, pre-image) pairs for written rows only, undone in reverse —
+  // the former full-table copy dominated the UPDATE profile.
+  std::vector<CompiledExpr> target_code;
+  target_code.reserve(targets.size());
+  for (const auto& [c, value_expr] : targets) {
+    (void)c;
+    target_code.push_back(CompileExpr(*value_expr, schema, dialect_));
+  }
+  std::vector<std::pair<size_t, std::vector<SqlValue>>> undo;
+  undo.reserve(matched_count);
+  auto rollback = [&]() {
+    for (size_t u = undo.size(); u-- > 0;) {
+      table->rows[undo[u].first] = std::move(undo[u].second);
+    }
+  };
   for (size_t r = 0; r < table->rows.size(); ++r) {
     if (!matched[r]) continue;
-    RowView view{&schema, &journal[r]};  // pre-update values of this row
-    std::vector<SqlValue> updated = journal[r];
-    for (const auto& [c, value_expr] : targets) {
-      EvalResult v = Evaluate(*value_expr, view, ctx);
+    // Each matched row is written at most once, so table->rows[r] still
+    // holds this row's pre-update values here.
+    RowView view{&schema, &table->rows[r]};
+    std::vector<SqlValue> updated = table->rows[r];
+    for (size_t t = 0; t < targets.size(); ++t) {
+      EvalResult v = target_code[t].Run(view, ctx);
       if (v.error) {
-        table->rows = std::move(journal);
+        rollback();
         return StatementResult::Failure(StatementStatus::kError, v.message);
       }
       StatementResult failure;
-      if (!CoerceForInsert(table->columns[c], &v.value, &failure)) {
-        table->rows = std::move(journal);
+      if (!CoerceForInsert(table->columns[targets[t].first], &v.value,
+                           &failure)) {
+        rollback();
         return failure;
       }
-      updated[c] = std::move(v.value);
+      updated[targets[t].first] = std::move(v.value);
     }
     StatementResult violation = CheckConstraints(
         *table, updated, {}, static_cast<int>(r));
     if (!violation.ok()) {
-      table->rows = std::move(journal);
+      rollback();
       return violation;
     }
+    undo.emplace_back(r, std::move(table->rows[r]));
     table->rows[r] = std::move(updated);
   }
 
@@ -685,16 +742,19 @@ StatementResult Database::ExecuteDelete(const DeleteStmt& stmt) {
   Mark(Feature::kDelete);
   if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
 
-  RowSchema schema = SchemaFor(table->name, table->columns);
+  const RowSchema& schema = table->schema;
   EvalContext ctx{dialect_, &bugs_};
+  CompiledExpr where_code;
+  if (stmt.where != nullptr) where_code = CompileExpr(*stmt.where, schema, dialect_);
   std::vector<char> doomed(table->rows.size(), 0);
   size_t doomed_count = 0;
   size_t last_doomed = 0;
   for (size_t r = 0; r < table->rows.size(); ++r) {
     if (stmt.where != nullptr) {
       RowView view{&schema, &table->rows[r]};
-      bool error = false;
-      Bool3 hit = EvaluatePredicate(*stmt.where, view, ctx, &error);
+      EvalResult evaluated = where_code.Run(view, ctx);
+      bool error = evaluated.error;
+      Bool3 hit = error ? Bool3::kNull : Truthiness(evaluated.value, dialect_);
       if (error) {
         return StatementResult::Failure(StatementStatus::kError,
                                         "DELETE WHERE evaluation failed");
@@ -865,6 +925,26 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     from.push_back(table);
   }
 
+  // Bare single-table `SELECT *` — the pivot-fetch / state-comparison hot
+  // path. With no injected bug armed, no statement- or scan-level hook can
+  // observe this shape, so the result is a straight copy of the stored
+  // rows; the general path below produces exactly the same rows via
+  // JoinRows + star projection. Marks stay identical: this shape only ever
+  // marks kSelect.
+  if (!bugs_.any() && from.size() == 1 && stmt.joins.empty() &&
+      stmt.where == nullptr && !has_agg && stmt.select_list.empty() &&
+      stmt.group_by.empty() && stmt.having == nullptr &&
+      stmt.order_by.empty() && !stmt.distinct && stmt.limit < 0) {
+    Mark(Feature::kSelect);
+    StatementResult fast;
+    fast.column_names.reserve(from[0]->columns.size());
+    for (const ColumnDef& def : from[0]->columns) {
+      fast.column_names.push_back(def.name);
+    }
+    fast.rows = from[0]->rows;
+    return fast;
+  }
+
   Mark(Feature::kSelect);
   if (stmt.where != nullptr) Mark(Feature::kSelectWhere);
   if (from.size() > 1) Mark(Feature::kSelectJoin);
@@ -985,21 +1065,26 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     join_pushdown_term = FirstColumnColumnCompare(*stmt.where);
   }
 
-  // Combined (joined) schema in FROM order.
-  RowSchema schema;
+  // Combined (joined) schema in FROM order. Single-table statements (the
+  // pivot-fetch hot path) borrow the table's cached schema outright.
+  RowSchema joined_schema_storage;
   StatementResult result;
   for (const TableData* table : from) {
     for (size_t c = 0; c < table->columns.size(); ++c) {
-      schema.cols.emplace_back(table->name, table->columns[c].name);
+      if (from.size() > 1) {
+        joined_schema_storage.Add(table->name, table->columns[c].name);
+      }
       result.column_names.push_back(table->columns[c].name);
       if (unique_null_col < 0 && BugOn(BugId::kUniqueNullLost) &&
           stmt.where != nullptr &&
           stmt.where->ContainsIsNull(/*negated_form=*/false) &&
           table->columns[c].unique) {
-        unique_null_col = static_cast<int>(schema.cols.size()) - 1;
+        unique_null_col = static_cast<int>(result.column_names.size()) - 1;
       }
     }
   }
+  const RowSchema& schema =
+      from.size() == 1 ? from[0]->schema : joined_schema_storage;
 
   EvalContext ctx{dialect_, &bugs_};
 
@@ -1034,7 +1119,7 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     inputs.reserve(from.size());
     for (const TableData* table : from) {
       JoinInput input;
-      input.schema = SchemaFor(table->name, table->columns);
+      input.schema = table->schema;
       input.rows = &table->rows;
       inputs.push_back(std::move(input));
     }
@@ -1062,6 +1147,17 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
       has_agg && BugOn(BugId::kTlpNullPartitionDrop) &&
       stmt.where != nullptr && stmt.where->kind == ExprKind::kIsNull &&
       !stmt.where->negated;
+  // The WHERE and the projection run once per surviving row; compile them
+  // once against the combined schema.
+  CompiledExpr where_code;
+  if (stmt.where != nullptr) where_code = CompileExpr(*stmt.where, schema, dialect_);
+  std::vector<CompiledExpr> select_code;
+  if (!has_agg) {
+    select_code.reserve(stmt.select_list.size());
+    for (const ExprPtr& e : stmt.select_list) {
+      select_code.push_back(CompileExpr(*e, schema, dialect_));
+    }
+  }
   size_t scan_count = used_index ? index_positions.size() : scan_rows->size();
   for (size_t scan_i = 0; scan_i < scan_count; ++scan_i) {
     const std::vector<SqlValue>& combined =
@@ -1071,7 +1167,7 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
 
     bool keep = true;
     if (stmt.where != nullptr) {
-      EvalResult evaluated = Evaluate(*stmt.where, view, ctx);
+      EvalResult evaluated = where_code.Run(view, ctx);
       if (evaluated.error) {
         return StatementResult::Failure(StatementStatus::kError,
                                         evaluated.message);
@@ -1148,9 +1244,9 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
       result.rows.push_back(combined);
     } else {
       std::vector<SqlValue> projected;
-      projected.reserve(stmt.select_list.size());
-      for (const ExprPtr& e : stmt.select_list) {
-        EvalResult v = Evaluate(*e, view, ctx);
+      projected.reserve(select_code.size());
+      for (const CompiledExpr& code : select_code) {
+        EvalResult v = code.Run(view, ctx);
         if (v.error) {
           return StatementResult::Failure(StatementStatus::kError,
                                           v.message);
@@ -1258,15 +1354,19 @@ bool Database::PlanIndexScan(const TableData& table, const Expr& where,
     // row is still re-checked against the full WHERE by the scan loop.
     RowSchema key_schema;
     for (const std::string& col : index.columns) {
-      key_schema.cols.emplace_back(table.name, col);
+      key_schema.Add(table.name, col);
     }
+    CompiledExpr probe_code;
+    if (probe != nullptr) probe_code = CompileExpr(*probe, key_schema, ctx.dialect);
     std::vector<size_t> candidates;
     bool eval_failed = false;
     for (const auto& [key, pos] : index.entries) {
       if (probe != nullptr) {
         RowView view{&key_schema, &key};
-        bool error = false;
-        Bool3 hit = EvaluatePredicate(*probe, view, ctx, &error);
+        EvalResult evaluated = probe_code.Run(view, ctx);
+        bool error = evaluated.error;
+        Bool3 hit =
+            error ? Bool3::kNull : Truthiness(evaluated.value, ctx.dialect);
         if (error) {
           eval_failed = true;
           break;
@@ -1297,15 +1397,17 @@ bool Database::PlanIndexScan(const TableData& table, const Expr& where,
 }
 
 Database::TableData* Database::FindTable(const std::string& name) {
+  const int32_t sym = Interner::Intern(name);
   for (TableData& table : tables_) {
-    if (table.name == name) return &table;
+    if (table.name_sym == sym) return &table;
   }
   return nullptr;
 }
 
 Database::IndexData* Database::FindIndex(const std::string& name) {
+  const int32_t sym = Interner::Intern(name);
   for (IndexData& index : indexes_) {
-    if (index.name == name) return &index;
+    if (index.name_sym == sym) return &index;
   }
   return nullptr;
 }

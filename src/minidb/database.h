@@ -15,6 +15,7 @@
 
 #include "src/engine/bugs.h"
 #include "src/engine/connection.h"
+#include "src/interp/bytecode.h"
 #include "src/interp/eval.h"
 #include "src/minidb/coverage.h"
 #include "src/sqlast/ast.h"
@@ -44,6 +45,16 @@ class Database : public Connection {
   size_t table_count() const { return tables_.size(); }
   size_t index_count() const { return indexes_.size(); }
 
+  // Read-only view of a table's stored rows (nullptr when the table does
+  // not exist) — identical to the row set a bare `SELECT *` returns on a
+  // clean instance. The runner's ground-truth state comparison reads the
+  // model through this instead of paying for a full SELECT round trip.
+  const std::vector<std::vector<SqlValue>>* TableRows(
+      const std::string& name) {
+    TableData* table = FindTable(name);
+    return table != nullptr ? &table->rows : nullptr;
+  }
+
   // Disables the secondary-index scan planner: every SELECT falls back to
   // the full table scan. The index-consistency property test runs the same
   // session with the planner on and off and requires identical results.
@@ -52,15 +63,27 @@ class Database : public Connection {
  private:
   struct TableData {
     std::string name;
+    int32_t name_sym = -1;  // interned `name` (equality-only)
     std::vector<ColumnDef> columns;
+    // Single-table row schema with interned column symbols, built once at
+    // CREATE TABLE. Every scan, constraint check, and index-maintenance
+    // path borrows this instead of re-materializing (table, column) string
+    // pairs per statement.
+    RowSchema schema;
     std::vector<std::vector<SqlValue>> rows;
   };
   struct IndexData {
     std::string name;
+    int32_t name_sym = -1;  // interned `name` (equality-only)
     std::string table_name;
     std::vector<std::string> columns;
     bool unique = false;
     ExprPtr where;  // partial index predicate (nullable)
+    // `where` compiled against the owning table's schema at CREATE INDEX.
+    // The program borrows the `where` tree, whose pointee is stable under
+    // IndexData moves, so index maintenance (which runs the predicate per
+    // row) skips the per-call tree walk.
+    CompiledExpr where_code;
     // B-tree-ish ordered secondary index: (key tuple, row position) pairs
     // kept sorted by key (ValueCompare lexicographic, position tie-break).
     // Positions reference TableData::rows; every maintenance path (INSERT

@@ -1,11 +1,13 @@
 #include "src/pqs/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <utility>
 
 #include "src/common/rng.h"
+#include "src/interp/bytecode.h"
 #include "src/interp/eval.h"
 #include "src/minidb/database.h"
 #include "src/pqs/scheduler.h"
@@ -105,14 +107,18 @@ bool PivotWorstCaseRank(
   if (!JoinRows(inputs, query.joins, ctx, &joined, &error, nullptr)) {
     return false;
   }
+  // The WHERE runs once per joined row — compile it once.
+  CompiledExpr where_code;
+  if (query.where != nullptr) {
+    where_code = CompileExpr(*query.where, joined_schema, ctx.dialect);
+  }
   std::vector<std::vector<SqlValue>> result;
   for (std::vector<SqlValue>& row : joined) {
     if (query.where != nullptr) {
       RowView view{&joined_schema, &row};
-      bool eval_error = false;
-      Bool3 match = EvaluatePredicate(*query.where, view, ctx, &eval_error);
-      if (eval_error) return false;
-      if (match != Bool3::kTrue) continue;
+      EvalResult evaluated = where_code.Run(view, ctx);
+      if (evaluated.error) return false;
+      if (Truthiness(evaluated.value, ctx.dialect) != Bool3::kTrue) continue;
     }
     result.push_back(std::move(row));
   }
@@ -126,19 +132,31 @@ bool PivotWorstCaseRank(
   if (query.order_by.empty()) {
     *rank = static_cast<int64_t>(result.size());
   } else {
+    // Key expressions run once per kept row — compile each once.
+    std::vector<CompiledExpr> key_code;
+    key_code.reserve(query.order_by.size());
+    for (const OrderByItem& item : query.order_by) {
+      if (item.expr == nullptr) return false;
+      key_code.push_back(CompileExpr(*item.expr, joined_schema, ctx.dialect));
+    }
+    auto eval_keys = [&](const RowView& view, std::vector<SqlValue>* keys) {
+      keys->clear();
+      keys->reserve(key_code.size());
+      for (const CompiledExpr& code : key_code) {
+        EvalResult evaluated = code.Run(view, ctx);
+        if (evaluated.error) return false;
+        keys->push_back(std::move(evaluated.value));
+      }
+      return true;
+    };
     RowView pivot_view{&joined_schema, &pivot};
     std::vector<SqlValue> pivot_keys;
-    if (!EvalOrderKeys(query.order_by, pivot_view, ctx, &pivot_keys,
-                       &error)) {
-      return false;
-    }
+    if (!eval_keys(pivot_view, &pivot_keys)) return false;
     int64_t at_or_before = 0;
+    std::vector<SqlValue> keys;
     for (const std::vector<SqlValue>& row : result) {
       RowView view{&joined_schema, &row};
-      std::vector<SqlValue> keys;
-      if (!EvalOrderKeys(query.order_by, view, ctx, &keys, &error)) {
-        return false;
-      }
+      if (!eval_keys(view, &keys)) return false;
       if (CompareOrderKeys(keys, pivot_keys, query.order_by) <= 0) {
         ++at_or_before;
       }
@@ -291,9 +309,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         record(std::move(finding));
         break;
       }
-      StatementResult model_rows = model.Execute(fetch);
+      // The model is a concrete clean MiniDB, so the state comparison can
+      // read its stored rows directly — the same multiset a bare SELECT *
+      // through Execute would return, without the query machinery.
+      const std::vector<std::vector<SqlValue>>* model_rows =
+          model.TableRows(table.name);
       ++out.stats.state_compares;
-      if (model_rows.ok() && !SameRowMultiset(rows.rows, model_rows.rows)) {
+      if (model_rows != nullptr && !SameRowMultiset(rows.rows, *model_rows)) {
         Finding finding;
         finding.oracle = OracleKind::kContainment;
         finding.statements = CloneSession(plan, mutation_log, &fetch);
@@ -301,7 +323,7 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
             "table " + table.name +
             " diverged from the ground-truth mutation replay: engine has " +
             std::to_string(rows.rows.size()) + " row(s), reference " +
-            std::to_string(model_rows.rows.size());
+            std::to_string(model_rows->size());
         record(std::move(finding));
         break;
       }
@@ -420,15 +442,16 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       // exactly the model's rows. This is what keeps containment exact
       // under UPDATE/DELETE — a wrongly-deleted row could otherwise never
       // be picked as a pivot and would go unnoticed.
-      StatementResult model_rows = model.Execute(fetch);
+      const std::vector<std::vector<SqlValue>>* model_rows =
+          model.TableRows(table->name);
       ++out.stats.state_compares;
-      if (model_rows.ok() && !SameRowMultiset(rows.rows, model_rows.rows)) {
+      if (model_rows != nullptr && !SameRowMultiset(rows.rows, *model_rows)) {
         Finding finding;
         finding.oracle = OracleKind::kContainment;
         finding.statements = CloneSession(plan, mutation_log, &fetch);
         // The pivot is the first ground-truth row the engine lost (empty
         // when the engine instead has rows the model does not).
-        for (const auto& model_row : model_rows.rows) {
+        for (const auto& model_row : *model_rows) {
           bool present = false;
           for (const auto& engine_row : rows.rows) {
             if (engine_row.size() == model_row.size()) {
@@ -452,7 +475,7 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
             "table " + table->name +
             " diverged from the ground-truth mutation replay: engine has " +
             std::to_string(rows.rows.size()) + " row(s), reference " +
-            std::to_string(model_rows.rows.size());
+            std::to_string(model_rows->size());
         record(std::move(finding));
         have_pivot = false;
         break;
@@ -658,6 +681,24 @@ bool TerminatesRun(const DbRunResult& r, bool stop_on_first_finding) {
          (stop_on_first_finding && !r.findings.empty());
 }
 
+// Runs one plan task, timing the whole session for the latency hook. The
+// clock is only read when a hook is installed, so unhooked runs pay
+// nothing; the hook cannot change the result, so reports stay
+// byte-identical either way.
+DbRunResult RunTask(const WorkerEngineFactory& factory, int worker,
+                    const RunnerOptions& options,
+                    const ShardPlan::Task& task) {
+  if (!options.session_latency_hook) {
+    return RunOneDatabase(factory, worker, options, task.seed);
+  }
+  auto start = std::chrono::steady_clock::now();
+  DbRunResult r = RunOneDatabase(factory, worker, options, task.seed);
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  options.session_latency_hook(task.db_index, elapsed.count());
+  return r;
+}
+
 }  // namespace
 
 void RunStats::Merge(const RunStats& other) {
@@ -726,7 +767,7 @@ RunReport PqsRunner::Run() {
     // Inline path: identical to the classic sequential loop, including the
     // early exits (no database beyond a terminating one is ever run).
     for (const ShardPlan::Task& task : plan.tasks) {
-      DbRunResult r = RunOneDatabase(factory_, 0, options_, task.seed);
+      DbRunResult r = RunTask(factory_, 0, options_, task);
       if (!MergeDbResult(std::move(r), options_.stop_on_first_finding,
                          &report)) {
         break;
@@ -752,8 +793,7 @@ RunReport PqsRunner::Run() {
       size_t i = next_task.fetch_add(1, std::memory_order_relaxed);
       if (i >= task_count) break;
       if (i > stop_before.load(std::memory_order_acquire)) break;
-      results[i] =
-          RunOneDatabase(factory_, worker_index, options_, plan.tasks[i].seed);
+      results[i] = RunTask(factory_, worker_index, options_, plan.tasks[i]);
       if (TerminatesRun(results[i], stop_on_first)) {
         size_t current = stop_before.load(std::memory_order_relaxed);
         while (i < current && !stop_before.compare_exchange_weak(

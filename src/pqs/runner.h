@@ -15,6 +15,7 @@
 #define PQS_SRC_PQS_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/engine/connection.h"
@@ -37,6 +38,14 @@ struct RunnerOptions {
   // finder first). The error/crash oracles and the ground-truth mutation
   // state comparison stay on for every family.
   OracleFamily family = OracleFamily::kContainment;
+  // Observability: when set, called once per completed database session
+  // with the session's plan index and its wall-clock seconds (generation,
+  // execution, mutations, and oracle checks included). Fired from
+  // whichever worker ran the session — the callback must be thread-safe.
+  // It has no effect on the merged report, which stays byte-identical
+  // with or without it (bench/recorder.h aggregates these into latency
+  // percentiles).
+  std::function<void(int db_index, double seconds)> session_latency_hook;
   GeneratorOptions gen;
 };
 

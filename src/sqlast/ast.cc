@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "src/common/arena.h"
+
 namespace pqs {
+
+void* Expr::operator new(size_t size) { return NodePool::Take(size); }
+void Expr::operator delete(void* p, size_t size) {
+  (void)size;
+  if (p != nullptr) NodePool::Put(p);
+}
 
 ExprPtr Expr::Clone() const {
   auto out = std::make_unique<Expr>();

@@ -9,6 +9,7 @@
 #ifndef PQS_SRC_SQLAST_AST_H_
 #define PQS_SRC_SQLAST_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -95,6 +96,14 @@ struct Expr {
   SqlValue literal;                  // kLiteral
   std::string table;                 // kColumnRef (may be empty = unqualified)
   std::string column;                // kColumnRef
+  // kColumnRef: interned symbols of table/column (src/common/interner.h),
+  // resolved lazily on the first id-based schema lookup and cached on the
+  // node. kSymUnresolved = not yet interned; an empty (unqualified) table
+  // interns to Interner::kInvalidSymbol. Equality-only ids — never ordered
+  // or printed, so caching them cannot perturb deterministic output.
+  static constexpr int32_t kSymUnresolved = -2;
+  mutable int32_t table_sym = kSymUnresolved;
+  mutable int32_t column_sym = kSymUnresolved;
   UnaryOp uop = UnaryOp::kNot;       // kUnary
   BinaryOp bop = BinaryOp::kEq;      // kBinary
   bool negated = false;              // IS NOT NULL / NOT IN / NOT BETWEEN /
@@ -113,6 +122,16 @@ struct Expr {
                                      // call arguments; kCase: WHEN/THEN
                                      // pairs, then the ELSE value when
                                      // case_has_else
+
+  // Expr nodes are allocated from a pooled freelist (src/common/arena.h):
+  // the generate/clone/rectify/reduce path churns nodes far faster than the
+  // general-purpose heap likes, and the pool turns each node's allocation
+  // into a thread-local pointer pop. Deleting on a different thread than
+  // the allocating one is safe (slabs are immortal; see NodePool).
+  static void* operator new(size_t size);
+  static void operator delete(void* p, size_t size);
+  static void* operator new(size_t, void* p) { return p; }  // placement
+  static void operator delete(void*, void*) {}
 
   ExprPtr Clone() const;
   // Height of the expression tree (a literal is 1).

@@ -58,40 +58,38 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
     return StatementResult::Failure(StatementStatus::kCrash,
                                     "sqlite connection unavailable");
   }
-  std::string sql = RenderStmt(stmt, Dialect::kSqliteFlex);
-
-  // Statements that change the schema, the index inventory, or stored
-  // rows can invalidate a cached SELECT's plan or result shape; drop the
-  // cache rather than reason about which entries each kind invalidates.
-  // (INSERT is deliberately exempt: appended rows are visible to a reset
-  // prepared statement, and the pivot-probe pattern this cache serves
-  // interleaves with setup inserts.)
-  switch (stmt.kind()) {
-    case StmtKind::kCreateTable:
-    case StmtKind::kCreateIndex:
-    case StmtKind::kDropIndex:
-    case StmtKind::kUpdate:
-    case StmtKind::kDelete:
-    case StmtKind::kMaintenance:
-      ClearStatementCache();
-      break;
-    default:
-      break;
-  }
-
-  // Prepare-once / reset-and-rerun for repeated SELECT text (the pivot
-  // probe pattern). The cache is MRU-ordered; hits move to the front.
+  // No cache invalidation on DDL/DML: sqlite3_prepare_v2 statements
+  // transparently re-prepare themselves when the schema changes
+  // (SQLITE_SCHEMA handling is internal to the v2 interface), and data
+  // changes are always visible to a reset statement. Dropping the cache on
+  // every UPDATE/DELETE/DDL — as an earlier revision did — made the
+  // mutation-heavy workload churn prepares and erased the cache's win.
+  //
+  // SELECTs are cached by *parameterized template*: literals in the filter
+  // positions render as `?` and are bound per execution, so the NoREC/TLP
+  // rewrite families (same shape, fresh literals every check) and the
+  // pivot probes all collapse onto a handful of prepared statements.
   bool cacheable = cache_enabled_ && stmt.kind() == StmtKind::kSelect;
   // Metamorphic rewrites are tallied separately (as a subset of the
   // totals) so the bench can tell whether the NoREC/TLP rewrite texts
   // revisit the cache or churn it.
   bool meta = stmt.kind() == StmtKind::kSelect &&
               static_cast<const SelectStmt&>(stmt).meta_rewrite;
+  sql_buf_.clear();
+  param_buf_.clear();
+  if (cacheable) {
+    RenderSelectTemplate(static_cast<const SelectStmt&>(stmt),
+                         Dialect::kSqliteFlex, &sql_buf_, &param_buf_);
+  } else {
+    RenderStmtTo(stmt, Dialect::kSqliteFlex, &sql_buf_);
+  }
+
+  // Prepare-once / reset-and-rerun (MRU-ordered; hits move to the front).
   sqlite3_stmt* prepared = nullptr;
   bool in_cache = false;
   if (cacheable) {
     for (size_t i = 0; i < cache_.size(); ++i) {
-      if (cache_[i].sql != sql) continue;
+      if (cache_[i].sql != sql_buf_) continue;
       prepared = cache_[i].stmt;
       sqlite3_reset(prepared);
       if (i != 0) {
@@ -106,7 +104,8 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
     }
   }
   if (prepared == nullptr) {
-    int prc = sqlite3_prepare_v2(db_, sql.c_str(), -1, &prepared, nullptr);
+    int prc =
+        sqlite3_prepare_v2(db_, sql_buf_.c_str(), -1, &prepared, nullptr);
     if (prc != SQLITE_OK) {
       StatementStatus status = prc == SQLITE_CONSTRAINT
                                    ? StatementStatus::kConstraintViolation
@@ -116,10 +115,10 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
     if (cacheable) {
       ++cache_misses_;
       if (meta) ++meta_cache_misses_;
-      cache_.insert(cache_.begin(), CachedStmt{sql, prepared});
+      cache_.insert(cache_.begin(), CachedStmt{sql_buf_, prepared});
       // 32 slots: the pivot-probe SELECTs plus the NoREC/TLP rewrite
-      // working set (up to four texts per TLP check) fit without eviction
-      // churn; linear MRU scan is still cheap at this size.
+      // working set (up to four templates per TLP check) fit without
+      // eviction churn; linear MRU scan is still cheap at this size.
       constexpr size_t kMaxCachedStatements = 32;
       while (cache_.size() > kMaxCachedStatements) {
         sqlite3_finalize(cache_.back().stmt);
@@ -128,10 +127,33 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
       in_cache = true;
     }
   }
-  // A cached statement is reset (kept prepared) instead of finalized.
+  // Bind the filter literals (placeholder i ← param_buf_[i-1]). TRANSIENT
+  // text: the AST the pointers borrow can die before the cached statement.
+  for (size_t i = 0; i < param_buf_.size(); ++i) {
+    const SqlValue& v = *param_buf_[i];
+    int slot = static_cast<int>(i) + 1;
+    switch (v.cls) {
+      case StorageClass::kNull:
+        sqlite3_bind_null(prepared, slot);
+        break;
+      case StorageClass::kInteger:
+        sqlite3_bind_int64(prepared, slot, v.i);
+        break;
+      case StorageClass::kReal:
+        sqlite3_bind_double(prepared, slot, v.r);
+        break;
+      case StorageClass::kText:
+        sqlite3_bind_text(prepared, slot, v.t.c_str(),
+                          static_cast<int>(v.t.size()), SQLITE_TRANSIENT);
+        break;
+    }
+  }
+  // A cached statement is reset (kept prepared) instead of finalized;
+  // bindings are cleared so no stale literal outlives this execution.
   auto release = [&]() {
     if (in_cache) {
       sqlite3_reset(prepared);
+      sqlite3_clear_bindings(prepared);
     } else {
       sqlite3_finalize(prepared);
     }

@@ -3,12 +3,14 @@
 //
 // Statements are rendered to SQL text (src/sqlparser) and executed through
 // the prepared-statement API; result values come back as typed SqlValues.
-// SELECTs are prepared once and cached per SQL text: the PQS loop probes
-// every FROM table with the identical `SELECT * FROM tN` before each query
-// (pivot selection), and reduction replays the same statement prefixes
-// hundreds of times, so reset-and-rerun beats re-preparing (the v2
-// interface transparently re-prepares on schema change, so caching across
-// DDL is safe). When the build has no libsqlite3 (PQS_HAVE_SQLITE3 == 0)
+// SELECTs are prepared once and cached per *parameterized template*
+// (filter literals become `?` and are bound per execution): the PQS loop
+// probes every FROM table with the identical `SELECT * FROM tN` before
+// each query (pivot selection), and the NoREC/TLP rewrite families repeat
+// the same query shapes with fresh literals, so reset-bind-rerun beats
+// re-preparing (the v2 interface transparently re-prepares on schema
+// change, so caching across DDL is safe). When the build has no libsqlite3
+// (PQS_HAVE_SQLITE3 == 0)
 // the class still exists so the benches compile unchanged, but every
 // Execute reports kUnsupported and the runner skips out gracefully.
 #ifndef PQS_SRC_SQLITE3DB_SQLITE_CONNECTION_H_
@@ -71,8 +73,13 @@ class SqliteConnection : public Connection {
   uint64_t meta_cache_hits_ = 0;
   uint64_t meta_cache_misses_ = 0;
   // Small MRU list (front = most recent); linear scan beats hashing at
-  // this size, and the PQS workload repeats only a handful of SELECTs.
+  // this size, and the PQS workload repeats only a handful of SELECT
+  // templates.
   std::vector<CachedStmt> cache_;
+  // Reused render buffers: one SQL text and one bind list per Execute,
+  // recycled across calls so rendering stops allocating per statement.
+  std::string sql_buf_;
+  std::vector<const SqlValue*> param_buf_;
 };
 
 }  // namespace pqs

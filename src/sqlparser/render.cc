@@ -39,11 +39,6 @@ const char* BinaryOpToken(BinaryOp op) {
   return "?";
 }
 
-std::string ColumnRefText(const Expr& e) {
-  if (e.table.empty()) return e.column;
-  return e.table + "." + e.column;
-}
-
 // Dialect spelling of a join step. MySQL idiomatically writes a bare JOIN
 // for an inner join; SQLite and PostgreSQL get the explicit INNER keyword.
 const char* JoinToken(JoinKind kind, Dialect dialect) {
@@ -58,221 +53,347 @@ const char* JoinToken(JoinKind kind, Dialect dialect) {
   return "JOIN";
 }
 
-}  // namespace
-
-std::string RenderExpr(const Expr& expr, Dialect dialect) {
+// Appends `expr` to *out. When `params` is non-null the expression is
+// rendered as a prepared-statement template: every literal becomes a `?`
+// placeholder and a pointer to its value is appended to *params (bind
+// order == placeholder order == depth-first render order). The pointers
+// borrow the AST, so they are valid only while the statement is alive.
+void AppendExpr(const Expr& expr, Dialect dialect, std::string* out,
+                std::vector<const SqlValue*>* params) {
   switch (expr.kind) {
     case ExprKind::kLiteral:
-      return expr.literal.ToSqlLiteral();
+      if (params != nullptr) {
+        *out += '?';
+        params->push_back(&expr.literal);
+      } else {
+        *out += expr.literal.ToSqlLiteral();
+      }
+      return;
     case ExprKind::kColumnRef:
-      return ColumnRefText(expr);
-    case ExprKind::kUnary: {
-      std::string inner = RenderExpr(*expr.args[0], dialect);
-      if (expr.uop == UnaryOp::kNot) return "(NOT " + inner + ")";
-      return "(-" + inner + ")";
-    }
+      if (!expr.table.empty()) {
+        *out += expr.table;
+        *out += '.';
+      }
+      *out += expr.column;
+      return;
+    case ExprKind::kUnary:
+      *out += expr.uop == UnaryOp::kNot ? "(NOT " : "(-";
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += ')';
+      return;
     case ExprKind::kBinary:
-      return "(" + RenderExpr(*expr.args[0], dialect) + " " +
-             BinaryOpToken(expr.bop) + " " +
-             RenderExpr(*expr.args[1], dialect) + ")";
+      *out += '(';
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += ' ';
+      *out += BinaryOpToken(expr.bop);
+      *out += ' ';
+      AppendExpr(*expr.args[1], dialect, out, params);
+      *out += ')';
+      return;
     case ExprKind::kIsNull:
-      return "(" + RenderExpr(*expr.args[0], dialect) +
-             (expr.negated ? " IS NOT NULL)" : " IS NULL)");
-    case ExprKind::kInList: {
-      std::string out = "(" + RenderExpr(*expr.args[0], dialect) +
-                        (expr.negated ? " NOT IN (" : " IN (");
+      *out += '(';
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += expr.negated ? " IS NOT NULL)" : " IS NULL)";
+      return;
+    case ExprKind::kInList:
+      *out += '(';
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += expr.negated ? " NOT IN (" : " IN (";
       for (size_t i = 1; i < expr.args.size(); ++i) {
-        if (i > 1) out += ", ";
-        out += RenderExpr(*expr.args[i], dialect);
+        if (i > 1) *out += ", ";
+        AppendExpr(*expr.args[i], dialect, out, params);
       }
-      return out + "))";
-    }
+      *out += "))";
+      return;
     case ExprKind::kBetween:
-      return "(" + RenderExpr(*expr.args[0], dialect) +
-             (expr.negated ? " NOT BETWEEN " : " BETWEEN ") +
-             RenderExpr(*expr.args[1], dialect) + " AND " +
-             RenderExpr(*expr.args[2], dialect) + ")";
-    case ExprKind::kLike: {
-      std::string out = "(" + RenderExpr(*expr.args[0], dialect) +
-                        (expr.negated ? " NOT LIKE " : " LIKE ") +
-                        RenderExpr(*expr.args[1], dialect);
+      *out += '(';
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += expr.negated ? " NOT BETWEEN " : " BETWEEN ";
+      AppendExpr(*expr.args[1], dialect, out, params);
+      *out += " AND ";
+      AppendExpr(*expr.args[2], dialect, out, params);
+      *out += ')';
+      return;
+    case ExprKind::kLike:
+      *out += '(';
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += expr.negated ? " NOT LIKE " : " LIKE ";
+      AppendExpr(*expr.args[1], dialect, out, params);
       if (expr.args.size() > 2 && expr.args[2] != nullptr) {
-        out += " ESCAPE " + RenderExpr(*expr.args[2], dialect);
+        *out += " ESCAPE ";
+        AppendExpr(*expr.args[2], dialect, out, params);
       }
-      return out + ")";
-    }
+      *out += ')';
+      return;
     case ExprKind::kFunctionCall: {
       const FunctionSig& sig = LookupFunction(expr.func);
       const char* name = sig.NameFor(dialect);
       // Defensive spelling for a dialect the registry says lacks the
       // function: the SQLite name keeps the output parseable-looking.
-      std::string out = std::string(name != nullptr ? name : sig.names[0]);
-      out += "(";
+      *out += name != nullptr ? name : sig.names[0];
+      *out += '(';
       for (size_t i = 0; i < expr.args.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += RenderExpr(*expr.args[i], dialect);
+        if (i > 0) *out += ", ";
+        AppendExpr(*expr.args[i], dialect, out, params);
       }
-      return out + ")";
+      *out += ')';
+      return;
     }
     case ExprKind::kCast:
-      return "CAST(" + RenderExpr(*expr.args[0], dialect) + " AS " +
-             CastTypeName(expr.cast_to, dialect) + ")";
+      *out += "CAST(";
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += " AS ";
+      *out += CastTypeName(expr.cast_to, dialect);
+      *out += ')';
+      return;
     case ExprKind::kCase: {
-      std::string out = "(CASE";
+      *out += "(CASE";
       size_t arms = expr.CaseArmCount();
       for (size_t i = 0; i < arms; ++i) {
-        out += " WHEN " + RenderExpr(*expr.args[2 * i], dialect);
-        out += " THEN " + RenderExpr(*expr.args[2 * i + 1], dialect);
+        *out += " WHEN ";
+        AppendExpr(*expr.args[2 * i], dialect, out, params);
+        *out += " THEN ";
+        AppendExpr(*expr.args[2 * i + 1], dialect, out, params);
       }
       if (expr.case_has_else) {
-        out += " ELSE " + RenderExpr(*expr.CaseElse(), dialect);
+        *out += " ELSE ";
+        AppendExpr(*expr.CaseElse(), dialect, out, params);
       }
-      return out + " END)";
+      *out += " END)";
+      return;
     }
     case ExprKind::kCollate:
-      return "(" + RenderExpr(*expr.args[0], dialect) + " COLLATE " +
-             CollationName(expr.collation) + ")";
-    case ExprKind::kAggregate: {
-      if (expr.agg_star) return std::string(AggFuncName(expr.agg)) + "(*)";
-      std::string out = std::string(AggFuncName(expr.agg)) + "(";
-      if (expr.agg_distinct) out += "DISTINCT ";
-      out += RenderExpr(*expr.args[0], dialect);
-      return out + ")";
-    }
+      *out += '(';
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += " COLLATE ";
+      *out += CollationName(expr.collation);
+      *out += ')';
+      return;
+    case ExprKind::kAggregate:
+      *out += AggFuncName(expr.agg);
+      if (expr.agg_star) {
+        *out += "(*)";
+        return;
+      }
+      *out += '(';
+      if (expr.agg_distinct) *out += "DISTINCT ";
+      AppendExpr(*expr.args[0], dialect, out, params);
+      *out += ')';
+      return;
   }
-  return "?";
+  *out += '?';
 }
 
-std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
+// Appends a SELECT. `params`, when non-null, parameterizes ONLY the
+// filter positions — WHERE, HAVING, and JOIN ON — where a literal cannot
+// change the statement's shape. Select-list, GROUP BY, and ORDER BY
+// literals stay literal: swapping them through `?` would alter projected
+// values, grouping keys, or sort keys across cache hits, and LIMIT cannot
+// be a parameter at all in some engines.
+void AppendSelect(const SelectStmt& sel, Dialect dialect, std::string* out,
+                  std::vector<const SqlValue*>* params) {
+  *out += "SELECT ";
+  if (sel.distinct) *out += "DISTINCT ";
+  if (sel.select_list.empty()) {
+    *out += '*';
+  } else {
+    for (size_t i = 0; i < sel.select_list.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendExpr(*sel.select_list[i], dialect, out, nullptr);
+    }
+  }
+  *out += " FROM ";
+  for (size_t i = 0; i < sel.from_tables.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += sel.from_tables[i];
+  }
+  for (const JoinClause& join : sel.joins) {
+    *out += ' ';
+    *out += JoinToken(join.kind, dialect);
+    *out += ' ';
+    *out += join.table;
+    if (join.on) {
+      *out += " ON ";
+      AppendExpr(*join.on, dialect, out, params);
+    }
+  }
+  if (sel.where) {
+    *out += " WHERE ";
+    AppendExpr(*sel.where, dialect, out, params);
+  }
+  if (!sel.group_by.empty()) {
+    *out += " GROUP BY ";
+    for (size_t i = 0; i < sel.group_by.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendExpr(*sel.group_by[i], dialect, out, nullptr);
+    }
+  }
+  if (sel.having) {
+    *out += " HAVING ";
+    AppendExpr(*sel.having, dialect, out, params);
+  }
+  if (!sel.order_by.empty()) {
+    *out += " ORDER BY ";
+    for (size_t i = 0; i < sel.order_by.size(); ++i) {
+      const OrderByItem& item = sel.order_by[i];
+      if (i > 0) *out += ", ";
+      AppendExpr(*item.expr, dialect, out, nullptr);
+      *out += item.descending ? " DESC" : " ASC";
+      // PostgreSQL defaults to NULLS LAST on ASC (the reverse of the
+      // SQLite/MySQL model this repo evaluates with), so the strict
+      // dialect pins the NULL position explicitly.
+      if (dialect == Dialect::kPostgresStrict) {
+        *out += item.descending ? " NULLS LAST" : " NULLS FIRST";
+      }
+    }
+  }
+  if (sel.limit >= 0) {
+    *out += " LIMIT ";
+    *out += std::to_string(sel.limit);
+  }
+}
+
+}  // namespace
+
+void RenderExprTo(const Expr& expr, Dialect dialect, std::string* out) {
+  AppendExpr(expr, dialect, out, nullptr);
+}
+
+std::string RenderExpr(const Expr& expr, Dialect dialect) {
+  std::string out;
+  RenderExprTo(expr, dialect, &out);
+  return out;
+}
+
+void RenderStmtTo(const Stmt& stmt, Dialect dialect, std::string* out) {
   switch (stmt.kind()) {
     case StmtKind::kCreateTable: {
       const auto& ct = static_cast<const CreateTableStmt&>(stmt);
-      std::string out = "CREATE TABLE " + ct.table_name + " (";
+      *out += "CREATE TABLE ";
+      *out += ct.table_name;
+      *out += " (";
       for (size_t i = 0; i < ct.columns.size(); ++i) {
         const ColumnDef& col = ct.columns[i];
-        if (i > 0) out += ", ";
-        out += col.name + " " + col.declared_type;
-        if (col.primary_key) out += " PRIMARY KEY";
-        if (col.unique) out += " UNIQUE";
-        if (col.not_null) out += " NOT NULL";
+        if (i > 0) *out += ", ";
+        *out += col.name;
+        *out += ' ';
+        *out += col.declared_type;
+        if (col.primary_key) *out += " PRIMARY KEY";
+        if (col.unique) *out += " UNIQUE";
+        if (col.not_null) *out += " NOT NULL";
       }
-      return out + ")";
+      *out += ')';
+      return;
     }
     case StmtKind::kCreateIndex: {
       const auto& ci = static_cast<const CreateIndexStmt&>(stmt);
-      std::string out = "CREATE ";
-      if (ci.unique) out += "UNIQUE ";
-      out += "INDEX " + ci.index_name + " ON " + ci.table_name + " (";
+      *out += "CREATE ";
+      if (ci.unique) *out += "UNIQUE ";
+      *out += "INDEX ";
+      *out += ci.index_name;
+      *out += " ON ";
+      *out += ci.table_name;
+      *out += " (";
       for (size_t i = 0; i < ci.columns.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += ci.columns[i];
+        if (i > 0) *out += ", ";
+        *out += ci.columns[i];
       }
-      out += ")";
-      if (ci.where) out += " WHERE " + RenderExpr(*ci.where, dialect);
-      return out;
+      *out += ')';
+      if (ci.where) {
+        *out += " WHERE ";
+        AppendExpr(*ci.where, dialect, out, nullptr);
+      }
+      return;
     }
     case StmtKind::kDropIndex: {
       const auto& di = static_cast<const DropIndexStmt&>(stmt);
+      *out += "DROP INDEX ";
+      *out += di.index_name;
       // MySQL scopes the index name to its table; the others don't.
       if (dialect == Dialect::kMysqlLike) {
-        return "DROP INDEX " + di.index_name + " ON " + di.table_name;
+        *out += " ON ";
+        *out += di.table_name;
       }
-      return "DROP INDEX " + di.index_name;
+      return;
     }
     case StmtKind::kUpdate: {
       const auto& up = static_cast<const UpdateStmt&>(stmt);
-      std::string out = "UPDATE " + up.table_name + " SET ";
+      *out += "UPDATE ";
+      *out += up.table_name;
+      *out += " SET ";
       for (size_t i = 0; i < up.assignments.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += up.assignments[i].column + " = " +
-               RenderExpr(*up.assignments[i].value, dialect);
+        if (i > 0) *out += ", ";
+        *out += up.assignments[i].column;
+        *out += " = ";
+        AppendExpr(*up.assignments[i].value, dialect, out, nullptr);
       }
-      if (up.where) out += " WHERE " + RenderExpr(*up.where, dialect);
-      return out;
+      if (up.where) {
+        *out += " WHERE ";
+        AppendExpr(*up.where, dialect, out, nullptr);
+      }
+      return;
     }
     case StmtKind::kDelete: {
       const auto& del = static_cast<const DeleteStmt&>(stmt);
-      std::string out = "DELETE FROM " + del.table_name;
-      if (del.where) out += " WHERE " + RenderExpr(*del.where, dialect);
-      return out;
+      *out += "DELETE FROM ";
+      *out += del.table_name;
+      if (del.where) {
+        *out += " WHERE ";
+        AppendExpr(*del.where, dialect, out, nullptr);
+      }
+      return;
     }
     case StmtKind::kMaintenance: {
       const auto& m = static_cast<const MaintenanceStmt&>(stmt);
       switch (dialect) {
         case Dialect::kSqliteFlex:
-          return "REINDEX " + m.table_name;
+          *out += "REINDEX ";
+          break;
         case Dialect::kMysqlLike:
-          return "OPTIMIZE TABLE " + m.table_name;
+          *out += "OPTIMIZE TABLE ";
+          break;
         case Dialect::kPostgresStrict:
-          return "REINDEX TABLE " + m.table_name;
+          *out += "REINDEX TABLE ";
+          break;
       }
-      return "REINDEX " + m.table_name;
+      *out += m.table_name;
+      return;
     }
     case StmtKind::kInsert: {
       const auto& ins = static_cast<const InsertStmt&>(stmt);
-      std::string out = "INSERT INTO " + ins.table_name + " VALUES ";
+      *out += "INSERT INTO ";
+      *out += ins.table_name;
+      *out += " VALUES ";
       for (size_t r = 0; r < ins.rows.size(); ++r) {
-        if (r > 0) out += ", ";
-        out += "(";
+        if (r > 0) *out += ", ";
+        *out += '(';
         for (size_t c = 0; c < ins.rows[r].size(); ++c) {
-          if (c > 0) out += ", ";
-          out += RenderExpr(*ins.rows[r][c], dialect);
+          if (c > 0) *out += ", ";
+          AppendExpr(*ins.rows[r][c], dialect, out, nullptr);
         }
-        out += ")";
+        *out += ')';
       }
-      return out;
+      return;
     }
-    case StmtKind::kSelect: {
-      const auto& sel = static_cast<const SelectStmt&>(stmt);
-      std::string out = "SELECT ";
-      if (sel.distinct) out += "DISTINCT ";
-      if (sel.select_list.empty()) {
-        out += "*";
-      } else {
-        for (size_t i = 0; i < sel.select_list.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += RenderExpr(*sel.select_list[i], dialect);
-        }
-      }
-      out += " FROM ";
-      for (size_t i = 0; i < sel.from_tables.size(); ++i) {
-        if (i > 0) out += ", ";
-        out += sel.from_tables[i];
-      }
-      for (const JoinClause& join : sel.joins) {
-        out += std::string(" ") + JoinToken(join.kind, dialect) + " " +
-               join.table;
-        if (join.on) out += " ON " + RenderExpr(*join.on, dialect);
-      }
-      if (sel.where) out += " WHERE " + RenderExpr(*sel.where, dialect);
-      if (!sel.group_by.empty()) {
-        out += " GROUP BY ";
-        for (size_t i = 0; i < sel.group_by.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += RenderExpr(*sel.group_by[i], dialect);
-        }
-      }
-      if (sel.having) out += " HAVING " + RenderExpr(*sel.having, dialect);
-      if (!sel.order_by.empty()) {
-        out += " ORDER BY ";
-        for (size_t i = 0; i < sel.order_by.size(); ++i) {
-          const OrderByItem& item = sel.order_by[i];
-          if (i > 0) out += ", ";
-          out += RenderExpr(*item.expr, dialect);
-          out += item.descending ? " DESC" : " ASC";
-          // PostgreSQL defaults to NULLS LAST on ASC (the reverse of the
-          // SQLite/MySQL model this repo evaluates with), so the strict
-          // dialect pins the NULL position explicitly.
-          if (dialect == Dialect::kPostgresStrict) {
-            out += item.descending ? " NULLS LAST" : " NULLS FIRST";
-          }
-        }
-      }
-      if (sel.limit >= 0) out += " LIMIT " + std::to_string(sel.limit);
-      return out;
-    }
+    case StmtKind::kSelect:
+      AppendSelect(static_cast<const SelectStmt&>(stmt), dialect, out,
+                   nullptr);
+      return;
   }
-  return "";
+}
+
+std::string RenderStmt(const Stmt& stmt, Dialect dialect) {
+  std::string out;
+  RenderStmtTo(stmt, dialect, &out);
+  return out;
+}
+
+void RenderSelectTemplate(const SelectStmt& stmt, Dialect dialect,
+                          std::string* sql,
+                          std::vector<const SqlValue*>* params) {
+  sql->clear();
+  params->clear();
+  AppendSelect(stmt, dialect, sql, params);
 }
 
 std::string RenderScript(const std::vector<StmtPtr>& statements,
@@ -280,7 +401,7 @@ std::string RenderScript(const std::vector<StmtPtr>& statements,
   std::string out;
   for (const StmtPtr& s : statements) {
     if (s == nullptr) continue;
-    out += RenderStmt(*s, dialect);
+    RenderStmtTo(*s, dialect, &out);
     out += ";\n";
   }
   return out;

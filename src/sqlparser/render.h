@@ -18,6 +18,25 @@ namespace pqs {
 std::string RenderExpr(const Expr& expr, Dialect dialect);
 std::string RenderStmt(const Stmt& stmt, Dialect dialect);
 
+// Buffer-reuse variants: append the rendering to *out instead of building
+// a fresh string. The per-statement adapters (SqliteConnection renders
+// every statement it executes) call these with a long-lived buffer so the
+// hot path stops paying an allocation per rendered statement.
+void RenderExprTo(const Expr& expr, Dialect dialect, std::string* out);
+void RenderStmtTo(const Stmt& stmt, Dialect dialect, std::string* out);
+
+// Prepared-statement template for a SELECT: literals in the filter
+// positions (WHERE, HAVING, JOIN ON) render as `?` placeholders and
+// pointers to their values are collected into *params in bind order
+// (1-based placeholder i binds (*params)[i-1]). Literals whose position
+// affects the statement's shape — select list, GROUP BY, ORDER BY keys,
+// LIMIT — stay literal, so two templates are interchangeable exactly when
+// their text matches. The pointers borrow `stmt`'s AST. Both outputs are
+// cleared first (reuse-friendly).
+void RenderSelectTemplate(const SelectStmt& stmt, Dialect dialect,
+                          std::string* sql,
+                          std::vector<const SqlValue*>* params);
+
 // Renders a whole test case, one statement per line, ';'-terminated.
 std::string RenderScript(const std::vector<StmtPtr>& statements,
                          Dialect dialect);

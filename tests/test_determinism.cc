@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/interp/bytecode.h"
 #include "src/minidb/database.h"
 #include "src/pqs/campaign.h"
 #include "src/pqs/runner.h"
@@ -202,6 +203,88 @@ void TestShardedCampaignMatchesSequential() {
   CHECK(finding_set(sharded) == finding_set(sequential));
 }
 
+// Serializes everything a report asserts on — the oracle-visible stats and
+// every finding's rendered script — so two reports can be compared as one
+// byte string.
+std::string Fingerprint(const RunReport& r) {
+  std::string out;
+  auto num = [&out](uint64_t v) {
+    out += std::to_string(v);
+    out += '|';
+  };
+  num(r.stats.statements_executed);
+  num(r.stats.queries_checked);
+  num(r.stats.queries_skipped);
+  num(r.stats.databases_created);
+  num(r.stats.rectified_true);
+  num(r.stats.rectified_false);
+  num(r.stats.rectified_null);
+  num(r.stats.constraint_violations);
+  num(r.stats.join_conditions_rectified);
+  num(r.stats.limited_queries);
+  for (int i = 0; i < RunStats::kDepthBuckets; ++i) {
+    num(r.stats.predicate_depth_buckets[i]);
+  }
+  num(r.stats.predicates_with_function);
+  num(r.stats.function_calls_generated);
+  num(r.stats.norec_checks);
+  num(r.stats.tlp_checks);
+  num(r.stats.tlp_partition_queries);
+  num(r.stats.aggregate_queries);
+  num(r.stats.group_by_queries);
+  num(r.stats.having_queries);
+  num(r.stats.actions_insert);
+  num(r.stats.actions_update);
+  num(r.stats.actions_delete);
+  num(r.stats.actions_create_index);
+  num(r.stats.actions_drop_index);
+  num(r.stats.actions_maintenance);
+  num(r.stats.state_compares);
+  num(r.findings.size());
+  for (const Finding& f : r.findings) {
+    num(static_cast<uint64_t>(f.oracle));
+    out += RenderScript(f.statements, Dialect::kSqliteFlex);
+    out += '|';
+  }
+  return out;
+}
+
+// The bytecode evaluator is a pure hot-path substitution: flipping the
+// process-wide kill switch (tree evaluator everywhere) must leave every
+// report byte-identical, for the containment family and the metamorphic
+// families alike (DESIGN §11 differential safety).
+void TestBytecodeOnOffSameReport() {
+  for (OracleFamily family :
+       {OracleFamily::kContainment, OracleFamily::kNorec, OracleFamily::kTlp}) {
+    auto run = [family]() {
+      RunnerOptions options;
+      options.seed = 77;
+      options.databases = 20;
+      options.queries_per_database = 15;
+      options.family = family;
+      options.gen.explicit_join_probability = 0.6;
+      options.gen.distinct_probability = 0.4;
+      options.gen.order_by_probability = 0.5;
+      options.gen.function_probability = 0.5;
+      options.gen.cast_probability = 0.3;
+      options.gen.case_probability = 0.25;
+      EngineFactory factory = []() -> ConnectionPtr {
+        return std::make_unique<minidb::Database>(
+            Dialect::kSqliteFlex,
+            BugConfig::Single(BugId::kPartialIndexIsNotInference));
+      };
+      PqsRunner runner(factory, options);
+      return runner.Run();
+    };
+    CHECK(BytecodeEnabled());
+    RunReport with_bytecode = run();
+    SetBytecodeEnabled(false);
+    RunReport tree_only = run();
+    SetBytecodeEnabled(true);
+    CHECK_EQ(Fingerprint(with_bytecode), Fingerprint(tree_only));
+  }
+}
+
 void TestDifferentSeedsDiffer() {
   // Not a strict requirement of the API, but a sanity check that the seed
   // actually feeds the generator.
@@ -218,6 +301,7 @@ int main() {
   pqs::TestSameSeedSameReport();
   pqs::TestShardedRunnerMatchesSequential();
   pqs::TestShardedCampaignMatchesSequential();
+  pqs::TestBytecodeOnOffSameReport();
   pqs::TestDifferentSeedsDiffer();
   return pqs::test::Summary("test_determinism");
 }
