@@ -52,7 +52,27 @@ def main(argv):
         fail("zipf_workload section missing")
     if not zipf.get("buckets"):
         fail("zipf_workload.buckets missing or empty")
+    for bucket in zipf["buckets"]:
+        check_latency(bucket.get("session_latency"),
+                      "zipf_workload.buckets[max_rows=%s].session_latency"
+                      % bucket.get("max_rows"))
     check_latency(zipf.get("session_latency"), "zipf_workload.session_latency")
+
+    scan = bench.get("scan_rows_sweep")
+    if not isinstance(scan, list) or not scan:
+        fail("scan_rows_sweep missing or empty")
+    sizes = sorted(p.get("rows", 0) for p in scan)
+    if sizes != [10**4, 10**5, 10**6]:
+        fail("scan_rows_sweep sizes are %s, expected 10^4/10^5/10^6" % sizes)
+    scan_floor = floor["scan_rows_per_second"]
+    scan_minimum = 0.7 * scan_floor
+    for point in scan:
+        where = "scan_rows_sweep[rows=%s]" % point.get("rows")
+        check_latency(point.get("query_latency"), where + ".query_latency")
+        rps = point.get("rows_per_second", 0.0)
+        if rps < scan_minimum:
+            fail("%s: %.0f rows/sec is below %.0f (70%% of the checked-in "
+                 "floor %.0f)" % (where, rps, scan_minimum, scan_floor))
 
     one_worker = [p for p in sweep if p.get("workers") == 1]
     if not one_worker:

@@ -49,13 +49,7 @@ class LatencyRecorder {
     if (samples_.empty()) return 0.0;
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
-    if (p <= 0) return sorted.front();
-    if (p >= 100) return sorted.back();
-    size_t rank = static_cast<size_t>(
-        (p / 100.0) * static_cast<double>(sorted.size()) + 0.9999999);
-    if (rank < 1) rank = 1;
-    if (rank > sorted.size()) rank = sorted.size();
-    return sorted[rank - 1];
+    return PercentileOfSorted(sorted, p);
   }
 
   double Mean() const {
@@ -68,18 +62,54 @@ class LatencyRecorder {
 
   // JSON object body (no braces) with the standard tail fields, latencies
   // in milliseconds: "count": N, "mean_ms": ..., "p50_ms": ...,
-  // "p99_ms": ..., "p999_ms": ...
+  // "p99_ms": ..., "p999_ms": ... One locked snapshot and one sort serve
+  // all four statistics, so the fields describe a single consistent view
+  // even if workers are still recording.
   std::string JsonFields() const {
+    std::vector<double> sorted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = samples_;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    double mean = 0.0;
+    if (!sorted.empty()) {
+      double total = 0.0;
+      for (double s : sorted) total += s;
+      mean = total / static_cast<double>(sorted.size());
+    }
     char buf[256];
     std::snprintf(buf, sizeof buf,
                   "\"count\": %zu, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
                   "\"p99_ms\": %.4f, \"p999_ms\": %.4f",
-                  count(), Mean() * 1e3, Percentile(50) * 1e3,
-                  Percentile(99) * 1e3, Percentile(99.9) * 1e3);
+                  sorted.size(), mean * 1e3,
+                  PercentileOfSorted(sorted, 50) * 1e3,
+                  PercentileOfSorted(sorted, 99) * 1e3,
+                  PercentileOfSorted(sorted, 99.9) * 1e3);
     return buf;
   }
 
  private:
+  // Nearest-rank over an already-sorted snapshot. The 1-based rank
+  // ceil(p/100 * n) is computed exactly in integers: p is taken at
+  // per-mille resolution (the finest any caller uses — p999), so
+  // rank = ceil(pm * n / 1000) with pm = round(p * 10). The old
+  // floating-point version added 0.9999999 as a "ceil" and was off by one
+  // at exact integral ranks for some (p, n).
+  static double PercentileOfSorted(const std::vector<double>& sorted,
+                                   double p) {
+    if (sorted.empty()) return 0.0;
+    if (p <= 0) return sorted.front();
+    if (p >= 100) return sorted.back();
+    unsigned long long pm =
+        static_cast<unsigned long long>(p * 10.0 + 0.5);  // per-mille
+    unsigned long long n = sorted.size();
+    unsigned long long rank = (pm * n + 999) / 1000;  // ceil(pm*n/1000)
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    return sorted[rank - 1];
+  }
+
   mutable std::mutex mu_;
   std::vector<double> samples_;
 };

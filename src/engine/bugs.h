@@ -93,6 +93,24 @@ enum class BugId : uint32_t {
   kTlpNullPartitionDrop,   // aggregate query with top-level IS NULL WHERE
                            // drops every matching row
 
+  // --- Paged storage engine (buffer pool / page heap). These corrupt the
+  // --- storage layer underneath statement semantics, so they only manifest
+  // --- under paging (page splits, eviction pressure, page-crossing
+  // --- mutations); the engine arms a deliberately tiny pool when one is
+  // --- enabled so campaigns reach the trigger states quickly. -----------
+  kEvictDropsDirtyPage,    // evicting a dirty frame skips the write-back:
+                           // every modification since the page was loaded
+                           // reverts to the on-"disk" version
+  kPageSplitRowLoss,       // allocating a fresh page on overflow ("split")
+                           // loses the last row of the page that filled up
+  kStalePageReadAfterUpdate, // a read of a page dirtied by UPDATE
+                           // "revalidates" the frame from disk, discarding
+                           // the update (reads observe pre-update rows)
+  kIndexHeapDesync,        // a DELETE confined to the tail page skips the
+                           // index rebuild (positions of earlier rows are
+                           // assumed unchanged), leaving entries that point
+                           // at shifted or vanished heap rows
+
   kNumBugs,
 };
 

@@ -331,4 +331,297 @@ EvalResult CompiledExpr::Run(const RowView& row, const EvalContext& ctx) const {
   return out;
 }
 
+void CompiledExpr::RunBatch(const RowSchema& schema,
+                            const std::vector<SqlValue>* rows, size_t n,
+                            const EvalContext& ctx,
+                            std::vector<EvalResult>* out) const {
+  out->clear();
+  out->resize(n);
+  if (n == 0) return;
+
+  if (!valid_ || !BytecodeEnabled()) {
+    for (size_t i = 0; i < n; ++i) {
+      RowView row{&schema, &rows[i]};
+      (*out)[i] = Evaluate(*root_, row, ctx);
+    }
+    return;
+  }
+
+  // Column-vector stack, pooled per thread. RunBatch can nest (a batch
+  // scan's callback may trigger another batch, e.g. an index rebuild after
+  // a mutation), so frames address columns relative to the pool watermark
+  // they entered with; vectors above the watermark keep their capacity
+  // between calls.
+  static thread_local std::vector<std::vector<SqlValue>> pool;
+  static thread_local size_t pool_used = 0;
+  const size_t base = pool_used;
+  size_t depth = 0;
+
+  auto push = [&]() -> std::vector<SqlValue>& {
+    if (pool.size() < base + depth + 1) pool.emplace_back();
+    std::vector<SqlValue>& c = pool[base + depth];
+    c.clear();
+    c.resize(n);
+    ++depth;
+    pool_used = base + depth;
+    return c;
+  };
+  auto col = [&](size_t from_top) -> std::vector<SqlValue>& {
+    return pool[base + depth - 1 - from_top];
+  };
+
+  std::vector<char> poisoned(n, 0);
+  auto poison = [&](size_t i, EvalResult r) {
+    (*out)[i] = std::move(r);
+    poisoned[i] = 1;
+  };
+
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case OpCode::kPushLiteral: {
+        std::vector<SqlValue>& c = push();
+        for (size_t i = 0; i < n; ++i) c[i] = ins.node->literal;
+        break;
+      }
+
+      case OpCode::kPushColumn: {
+        std::vector<SqlValue>& c = push();
+        const size_t slot = static_cast<size_t>(ins.slot);
+        for (size_t i = 0; i < n; ++i) {
+          if (!poisoned[i]) c[i] = rows[i][slot];
+        }
+        break;
+      }
+
+      case OpCode::kNot: {
+        std::vector<SqlValue>& c = col(0);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          Bool3 b = Truthiness(c[i], ctx.dialect);
+          if (b == Bool3::kNull && ctx.BugEnabled(BugId::kNotNullNot)) {
+            c[i] = SqlValue::Bool(false);
+          } else {
+            c[i] = SqlValue::FromBool3(Not3(b));
+          }
+        }
+        break;
+      }
+
+      case OpCode::kNeg: {
+        std::vector<SqlValue>& c = col(0);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          SqlValue& v = c[i];
+          if (v.is_null()) {
+            v = SqlValue::Null();
+          } else if (v.cls == StorageClass::kInteger) {
+            v = SqlValue::Int(-v.i);
+          } else if (v.cls == StorageClass::kReal) {
+            v = SqlValue::Real(-v.r);
+          } else if (ctx.dialect == Dialect::kPostgresStrict) {
+            poison(i, EvalResult::Error("operator does not exist: -text"));
+          } else {
+            v = SqlValue::Real(-ParseNumericPrefix(v.t));
+          }
+        }
+        break;
+      }
+
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        std::vector<SqlValue>& b = col(0);
+        std::vector<SqlValue>& a = col(1);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          Bool3 ta = Truthiness(a[i], ctx.dialect);
+          Bool3 tb = Truthiness(b[i], ctx.dialect);
+          a[i] = SqlValue::FromBool3(ins.op == OpCode::kAnd ? And3(ta, tb)
+                                                            : Or3(ta, tb));
+        }
+        --depth;
+        pool_used = base + depth;
+        break;
+      }
+
+      case OpCode::kCompare: {
+        std::vector<SqlValue>& b = col(0);
+        std::vector<SqlValue>& a = col(1);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          EvalResult r =
+              evalin::Compare(ins.node->bop, ins.node->args[0].get(),
+                              ins.node->args[1].get(), a[i], b[i], ctx);
+          if (r.error) {
+            poison(i, std::move(r));
+          } else {
+            a[i] = std::move(r.value);
+          }
+        }
+        --depth;
+        pool_used = base + depth;
+        break;
+      }
+
+      case OpCode::kArith: {
+        std::vector<SqlValue>& b = col(0);
+        std::vector<SqlValue>& a = col(1);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          EvalResult r = evalin::Arithmetic(*ins.node, a[i], b[i], ctx);
+          if (r.error) {
+            poison(i, std::move(r));
+          } else {
+            a[i] = std::move(r.value);
+          }
+        }
+        --depth;
+        pool_used = base + depth;
+        break;
+      }
+
+      case OpCode::kConcat: {
+        std::vector<SqlValue>& b = col(0);
+        std::vector<SqlValue>& a = col(1);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          if (ctx.BugEnabled(BugId::kConcatNumericError) &&
+              (a[i].is_numeric() || b[i].is_numeric())) {
+            poison(i, EvalResult::Error(
+                          "cannot concatenate non-text operand (spurious)"));
+            continue;
+          }
+          if (ctx.dialect == Dialect::kPostgresStrict &&
+              (a[i].is_numeric() || b[i].is_numeric())) {
+            poison(i, EvalResult::Error(
+                          "operator does not exist: || with non-text"));
+            continue;
+          }
+          if (a[i].is_null() || b[i].is_null()) {
+            a[i] = SqlValue::Null();
+          } else {
+            a[i] = SqlValue::Text(evalin::ConcatOperand(a[i]) +
+                                  evalin::ConcatOperand(b[i]));
+          }
+        }
+        --depth;
+        pool_used = base + depth;
+        break;
+      }
+
+      case OpCode::kIsNull: {
+        std::vector<SqlValue>& c = col(0);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          c[i] = SqlValue::Bool(c[i].is_null() != ins.node->negated);
+        }
+        break;
+      }
+
+      case OpCode::kBetween: {
+        std::vector<SqlValue>& hi = col(0);
+        std::vector<SqlValue>& lo = col(1);
+        std::vector<SqlValue>& v = col(2);
+        const Expr& node = *ins.node;
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          EvalResult above =
+              evalin::Compare(BinaryOp::kGe, node.args[0].get(),
+                              node.args[1].get(), v[i], lo[i], ctx);
+          if (above.error) {
+            poison(i, std::move(above));
+            continue;
+          }
+          EvalResult below =
+              evalin::Compare(BinaryOp::kLe, node.args[0].get(),
+                              node.args[2].get(), v[i], hi[i], ctx);
+          if (below.error) {
+            poison(i, std::move(below));
+            continue;
+          }
+          Bool3 r = And3(Truthiness(above.value, ctx.dialect),
+                         Truthiness(below.value, ctx.dialect));
+          if (node.negated) r = Not3(r);
+          v[i] = SqlValue::FromBool3(r);
+        }
+        depth -= 2;
+        pool_used = base + depth;
+        break;
+      }
+
+      case OpCode::kCast: {
+        std::vector<SqlValue>& c = col(0);
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          EvalResult r = evalin::EvaluateCast(*ins.node, c[i], ctx);
+          if (r.error) {
+            poison(i, std::move(r));
+          } else {
+            c[i] = std::move(r.value);
+          }
+        }
+        break;
+      }
+
+      case OpCode::kFunc: {
+        const size_t argc = ins.node->args.size();
+        if (argc == 0) {
+          std::vector<SqlValue>& c = push();
+          for (size_t i = 0; i < n; ++i) {
+            if (poisoned[i]) continue;
+            EvalResult r = evalin::ApplyFunction(*ins.node, {}, ctx);
+            if (r.error) {
+              poison(i, std::move(r));
+            } else {
+              c[i] = std::move(r.value);
+            }
+          }
+          break;
+        }
+        std::vector<SqlValue>& dst = col(argc - 1);
+        std::vector<SqlValue> args;
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          args.clear();
+          args.reserve(argc);
+          for (size_t a = 0; a < argc; ++a) {
+            args.push_back(std::move(col(argc - 1 - a)[i]));
+          }
+          EvalResult r = evalin::ApplyFunction(*ins.node, std::move(args),
+                                               ctx);
+          args = {};
+          if (r.error) {
+            poison(i, std::move(r));
+          } else {
+            dst[i] = std::move(r.value);
+          }
+        }
+        depth -= argc - 1;
+        pool_used = base + depth;
+        break;
+      }
+
+      case OpCode::kTreeEval: {
+        std::vector<SqlValue>& c = push();
+        for (size_t i = 0; i < n; ++i) {
+          if (poisoned[i]) continue;
+          RowView row{&schema, &rows[i]};
+          EvalResult r = Evaluate(*ins.node, row, ctx);
+          if (r.error) {
+            poison(i, std::move(r));
+          } else {
+            c[i] = std::move(r.value);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<SqlValue>& result = pool[base];
+  for (size_t i = 0; i < n; ++i) {
+    if (!poisoned[i]) (*out)[i] = EvalResult::Of(std::move(result[i]));
+  }
+  pool_used = base;
+}
+
 }  // namespace pqs

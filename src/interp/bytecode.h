@@ -75,6 +75,19 @@ class CompiledExpr {
   // Evaluate(*root, row, ctx) — see the differential safety argument above.
   EvalResult Run(const RowView& row, const EvalContext& ctx) const;
 
+  // Evaluates against a batch of rows, instruction-at-a-time over column
+  // vectors (the scan→filter→project path feeds whole page batches here).
+  // On return out->size() == n and (*out)[i] is value- and error-identical
+  // to Run(RowView{&schema, &rows[i]}, ctx): every instruction runs the
+  // same pure semantic kernels, so evaluating instruction-major instead of
+  // row-major is unobservable. A row whose evaluation errors is poisoned —
+  // it skips the remaining instructions while later rows continue — so the
+  // caller can walk the batch in row order and abort at the first error,
+  // exactly where the row-at-a-time scan would have.
+  void RunBatch(const RowSchema& schema, const std::vector<SqlValue>* rows,
+                size_t n, const EvalContext& ctx,
+                std::vector<EvalResult>* out) const;
+
  private:
   friend CompiledExpr CompileExpr(const Expr& root, const RowSchema& schema,
                                   Dialect dialect);

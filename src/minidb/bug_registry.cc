@@ -145,6 +145,23 @@ const std::vector<BugInfo>& BuildRegistry() {
       {BugId::kTlpNullPartitionDrop, "tlp-null-partition-drop",
        Dialect::kPostgresStrict, OracleKind::kTlp,
        ReportOutcome::kVerified},
+
+      // Paged storage engine (buffer pool / page heap): 2 SQLite, 1 MySQL,
+      // 1 PostgreSQL, all containment — storage corruption silently loses
+      // or resurrects rows, which the pivot check observes as a missing
+      // pivot or a state-compare mismatch; nothing errors or crashes.
+      {BugId::kEvictDropsDirtyPage, "evict-drops-dirty-page",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kPageSplitRowLoss, "page-split-row-loss",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kStalePageReadAfterUpdate, "stale-page-read-after-update",
+       Dialect::kMysqlLike, OracleKind::kContainment,
+       ReportOutcome::kVerified},
+      {BugId::kIndexHeapDesync, "index-heap-desync",
+       Dialect::kPostgresStrict, OracleKind::kContainment,
+       ReportOutcome::kFixed},
   };
   return registry;
 }

@@ -155,16 +155,37 @@ bool KeyColumnsCollide(const std::vector<int>& key_indexes,
   return true;
 }
 
+// When a storage-layer bug class is armed, a paged engine runs on tiny
+// pages and a tiny pool so generator-scale tables (3-12 rows) reach page
+// splits and eviction pressure within HuntBug's default budget; the
+// caller's seed is preserved so shard determinism is unaffected.
+StorageOptions ArmStorage(StorageOptions opts, const BugConfig& bugs) {
+  if (opts.paged && HasStorageBug(bugs)) {
+    uint64_t seed = opts.seed;
+    opts = StorageOptions::Stress();
+    opts.seed = seed;
+  }
+  return opts;
+}
+
 }  // namespace
 
-Database::Database(Dialect dialect, BugConfig bugs)
-    : dialect_(dialect), bugs_(bugs) {}
+Database::Database(Dialect dialect, BugConfig bugs, StorageOptions storage)
+    : dialect_(dialect),
+      bugs_(bugs),
+      storage_opts_(ArmStorage(storage, bugs)),
+      pool_(storage_opts_.pool_frames, storage_opts_.seed, &bugs_) {}
 
 std::string Database::EngineName() const {
   return std::string("minidb-") + DialectName(dialect_);
 }
 
 bool Database::Reset() {
+  // Frames point into the tables' disk pages; drop them (no write-back)
+  // before the pages are destroyed. Table ids are NOT recycled, so a
+  // frame of a dead table could never be mistaken for a new table's page
+  // even if one survived — but its write-back pointer would dangle.
+  pool_.Reset();
   tables_.clear();
   indexes_.clear();
   alive_ = true;
@@ -247,6 +268,7 @@ StatementResult Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
   for (const ColumnDef& def : table.columns) {
     table.schema.Add(table.name, def.name);
   }
+  table.store.Configure(&pool_, next_table_id_++, &storage_opts_, &bugs_);
   tables_.push_back(std::move(table));
   return StatementResult::Ok();
 }
@@ -282,18 +304,19 @@ StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
     for (const std::string& col : stmt.columns) {
       key_indexes.push_back(schema.IndexOf(stmt.table_name, col));
     }
-    for (size_t i = 0; i < table->rows.size(); ++i) {
-      if (!RowCoveredByPartial(stmt.where.get(), schema, ctx,
-                               table->rows[i])) {
+    // Pairwise check over a materialized snapshot: CREATE INDEX is rare,
+    // and the O(n²) scan through page cursors would thrash a tiny pool.
+    const std::vector<std::vector<SqlValue>>& rows =
+        table->store.Materialized();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!RowCoveredByPartial(stmt.where.get(), schema, ctx, rows[i])) {
         continue;
       }
-      for (size_t j = i + 1; j < table->rows.size(); ++j) {
-        if (!RowCoveredByPartial(stmt.where.get(), schema, ctx,
-                                 table->rows[j])) {
+      for (size_t j = i + 1; j < rows.size(); ++j) {
+        if (!RowCoveredByPartial(stmt.where.get(), schema, ctx, rows[j])) {
           continue;
         }
-        if (KeyColumnsCollide(key_indexes, table->rows[i],
-                              table->rows[j])) {
+        if (KeyColumnsCollide(key_indexes, rows[i], rows[j])) {
           Mark(Feature::kConstraintViolationRejected);
           return StatementResult::Failure(
               StatementStatus::kConstraintViolation,
@@ -334,18 +357,20 @@ StatementResult Database::ExecuteDropIndex(const DropIndexStmt& stmt) {
 
 void Database::AddIndexEntry(IndexData* index, const TableData& table,
                              size_t pos) {
-  const std::vector<SqlValue>& row = table.rows[pos];
+  TableStore::Cursor cursor(table.store);
+  const std::vector<SqlValue>* row = cursor.TryRow(pos);
+  if (row == nullptr) return;  // vanished under an injected storage bug
   if (index->where != nullptr) {
     EvalContext ctx{dialect_, &bugs_};
     if (!RowCoveredByPartialCode(index->where.get(), index->where_code,
-                                 table.schema, ctx, row)) {
+                                 table.schema, ctx, *row)) {
       return;
     }
   }
   std::pair<std::vector<SqlValue>, size_t> entry;
   entry.first.reserve(index->key_cols.size());
   for (int c : index->key_cols) {
-    entry.first.push_back(row[static_cast<size_t>(c)]);
+    entry.first.push_back((*row)[static_cast<size_t>(c)]);
   }
   entry.second = pos;
   auto at = std::upper_bound(index->entries.begin(), index->entries.end(),
@@ -357,25 +382,35 @@ void Database::RebuildIndex(IndexData* index, const TableData& table) {
   // Bulk build: collect every covered row's key, then one sort. Produces
   // the same order the incremental upper_bound inserts would (KeyEntryLess
   // tie-breaks on row position, so the order is total) without the
-  // per-row shifting that dominated UPDATE/DELETE profiles.
+  // per-row shifting that dominated UPDATE/DELETE profiles. The scan is
+  // page-batched; a partial predicate runs through the batch evaluator.
   index->entries.clear();
-  index->entries.reserve(table.rows.size());
+  index->entries.reserve(table.store.size());
   EvalContext ctx{dialect_, &bugs_};
-  for (size_t pos = 0; pos < table.rows.size(); ++pos) {
-    const std::vector<SqlValue>& row = table.rows[pos];
-    if (index->where != nullptr &&
-        !RowCoveredByPartialCode(index->where.get(), index->where_code,
-                                 table.schema, ctx, row)) {
-      continue;
+  std::vector<EvalResult> covered;
+  table.store.ForEachBatch([&](size_t base, const std::vector<SqlValue>* rows,
+                               size_t n) {
+    if (index->where != nullptr) {
+      index->where_code.RunBatch(table.schema, rows, n, ctx, &covered);
     }
-    std::pair<std::vector<SqlValue>, size_t> entry;
-    entry.first.reserve(index->key_cols.size());
-    for (int c : index->key_cols) {
-      entry.first.push_back(row[static_cast<size_t>(c)]);
+    for (size_t i = 0; i < n; ++i) {
+      if (index->where != nullptr) {
+        const EvalResult& r = covered[i];
+        if (r.error ||
+            Truthiness(r.value, ctx.dialect) != Bool3::kTrue) {
+          continue;
+        }
+      }
+      std::pair<std::vector<SqlValue>, size_t> entry;
+      entry.first.reserve(index->key_cols.size());
+      for (int c : index->key_cols) {
+        entry.first.push_back(rows[i][static_cast<size_t>(c)]);
+      }
+      entry.second = base + i;
+      index->entries.push_back(std::move(entry));
     }
-    entry.second = pos;
-    index->entries.push_back(std::move(entry));
-  }
+    return true;
+  });
   std::sort(index->entries.begin(), index->entries.end(), KeyEntryLess);
 }
 
@@ -485,14 +520,23 @@ StatementResult Database::CheckConstraints(
     auto collides = [&](const std::vector<SqlValue>& other) {
       return !other[c].is_null() && ValueEquals(other[c], candidate[c]);
     };
-    for (size_t r = 0; r < table.rows.size(); ++r) {
-      if (static_cast<int>(r) == exclude_row) continue;
-      if (collides(table.rows[r])) {
-        Mark(Feature::kConstraintViolationRejected);
-        return StatementResult::Failure(StatementStatus::kConstraintViolation,
-                                        "UNIQUE constraint failed: " +
-                                            col.name);
+    bool stored_collision = false;
+    table.store.ForEachBatch([&](size_t base, const std::vector<SqlValue>* rows,
+                                 size_t n) {
+      for (size_t r = 0; r < n; ++r) {
+        if (static_cast<int>(base + r) == exclude_row) continue;
+        if (collides(rows[r])) {
+          stored_collision = true;
+          return false;
+        }
       }
+      return true;
+    });
+    if (stored_collision) {
+      Mark(Feature::kConstraintViolationRejected);
+      return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                      "UNIQUE constraint failed: " +
+                                          col.name);
     }
     for (const auto& row : pending) {
       if (collides(row)) {
@@ -518,14 +562,23 @@ StatementResult Database::CheckConstraints(
                                      schema, ctx, other) &&
              KeyColumnsCollide(index.key_cols, other, candidate);
     };
-    for (size_t r = 0; r < table.rows.size(); ++r) {
-      if (static_cast<int>(r) == exclude_row) continue;
-      if (collides(table.rows[r])) {
-        Mark(Feature::kConstraintViolationRejected);
-        return StatementResult::Failure(StatementStatus::kConstraintViolation,
-                                        "unique index constraint failed: " +
-                                            index.name);
+    bool stored_collision = false;
+    table.store.ForEachBatch([&](size_t base, const std::vector<SqlValue>* rows,
+                                 size_t n) {
+      for (size_t r = 0; r < n; ++r) {
+        if (static_cast<int>(base + r) == exclude_row) continue;
+        if (collides(rows[r])) {
+          stored_collision = true;
+          return false;
+        }
       }
+      return true;
+    });
+    if (stored_collision) {
+      Mark(Feature::kConstraintViolationRejected);
+      return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                      "unique index constraint failed: " +
+                                          index.name);
     }
     for (const auto& row : pending) {
       if (collides(row)) {
@@ -588,11 +641,14 @@ StatementResult Database::ExecuteInsert(const InsertStmt& stmt) {
     }
     accepted.push_back(std::move(row));
   }
-  size_t first_new = table->rows.size();
-  for (auto& row : accepted) table->rows.push_back(std::move(row));
+  std::vector<size_t> new_positions;
+  new_positions.reserve(accepted.size());
+  for (auto& row : accepted) {
+    new_positions.push_back(table->store.Append(std::move(row)));
+  }
   for (IndexData& index : indexes_) {
     if (index.table_name != table->name) continue;
-    for (size_t pos = first_new; pos < table->rows.size(); ++pos) {
+    for (size_t pos : new_positions) {
       AddIndexEntry(&index, *table, pos);
     }
   }
@@ -641,29 +697,35 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
 
   // Pass 1: decide the matched set on the pre-update snapshot (SQL UPDATE
   // semantics: the WHERE never observes this statement's own writes). The
-  // WHERE runs once per row — compile it once.
+  // scan is page-batched, the WHERE compiled once and run per batch.
   CompiledExpr where_code;
   if (stmt.where != nullptr) where_code = CompileExpr(*stmt.where, schema, dialect_);
-  std::vector<char> matched(table->rows.size(), 0);
-  size_t matched_count = 0;
-  for (size_t r = 0; r < table->rows.size(); ++r) {
+  std::vector<size_t> matched_pos;
+  bool where_failed = false;
+  std::vector<EvalResult> where_out;
+  table->store.ForEachBatch([&](size_t base, const std::vector<SqlValue>* rows,
+                                size_t n) {
     if (stmt.where == nullptr) {
-      matched[r] = 1;
-      ++matched_count;
-      continue;
+      for (size_t r = 0; r < n; ++r) matched_pos.push_back(base + r);
+      return true;
     }
-    RowView view{&schema, &table->rows[r]};
-    EvalResult evaluated = where_code.Run(view, ctx);
-    bool error = evaluated.error;
-    Bool3 hit = error ? Bool3::kNull : Truthiness(evaluated.value, dialect_);
-    if (error) {
-      return StatementResult::Failure(StatementStatus::kError,
-                                      "UPDATE WHERE evaluation failed");
+    where_code.RunBatch(schema, rows, n, ctx, &where_out);
+    for (size_t r = 0; r < n; ++r) {
+      if (where_out[r].error) {
+        where_failed = true;
+        return false;
+      }
+      if (Truthiness(where_out[r].value, dialect_) == Bool3::kTrue) {
+        matched_pos.push_back(base + r);
+      }
     }
-    matched[r] = hit == Bool3::kTrue ? 1 : 0;
-    matched_count += matched[r];
+    return true;
+  });
+  if (where_failed) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "UPDATE WHERE evaluation failed");
   }
-  if (matched_count == 0) {
+  if (matched_pos.empty()) {
     // Nothing to write: skip the statement journal and the index rebuild
     // (random WHEREs miss often, and UPDATE sits in the fuzzing hot loop).
     return StatementResult::Ok();
@@ -681,18 +743,26 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
     target_code.push_back(CompileExpr(*value_expr, schema, dialect_));
   }
   std::vector<std::pair<size_t, std::vector<SqlValue>>> undo;
-  undo.reserve(matched_count);
+  undo.reserve(matched_pos.size());
   auto rollback = [&]() {
     for (size_t u = undo.size(); u-- > 0;) {
-      table->rows[undo[u].first] = std::move(undo[u].second);
+      table->store.Overwrite(undo[u].first, std::move(undo[u].second));
     }
   };
-  for (size_t r = 0; r < table->rows.size(); ++r) {
-    if (!matched[r]) continue;
-    // Each matched row is written at most once, so table->rows[r] still
-    // holds this row's pre-update values here.
-    RowView view{&schema, &table->rows[r]};
-    std::vector<SqlValue> updated = table->rows[r];
+  TableStore::Cursor cursor(table->store);
+  for (size_t pos : matched_pos) {
+    // Each matched row is written at most once, so the cursor still reads
+    // this row's pre-update values here. A position a storage bug made
+    // vanish between the passes is skipped, like a bounds-guarded index
+    // candidate.
+    const std::vector<SqlValue>* current = cursor.TryRow(pos);
+    if (current == nullptr) continue;
+    // Copy the pre-image out of the frame before anything below touches
+    // the pool again (the nested constraint scan can revalidate or evict
+    // around the pinned page and reallocate its row vectors).
+    std::vector<SqlValue> pre = *current;
+    RowView view{&schema, &pre};
+    std::vector<SqlValue> updated = pre;
     for (size_t t = 0; t < targets.size(); ++t) {
       EvalResult v = target_code[t].Run(view, ctx);
       if (v.error) {
@@ -708,13 +778,13 @@ StatementResult Database::ExecuteUpdate(const UpdateStmt& stmt) {
       updated[targets[t].first] = std::move(v.value);
     }
     StatementResult violation = CheckConstraints(
-        *table, updated, {}, static_cast<int>(r));
+        *table, updated, {}, static_cast<int>(pos));
     if (!violation.ok()) {
       rollback();
       return violation;
     }
-    undo.emplace_back(r, std::move(table->rows[r]));
-    table->rows[r] = std::move(updated);
+    undo.emplace_back(pos, std::move(pre));
+    table->store.Overwrite(pos, std::move(updated));
   }
 
   // Index maintenance: the clean path rebuilds every index of the table.
@@ -746,29 +816,50 @@ StatementResult Database::ExecuteDelete(const DeleteStmt& stmt) {
   EvalContext ctx{dialect_, &bugs_};
   CompiledExpr where_code;
   if (stmt.where != nullptr) where_code = CompileExpr(*stmt.where, schema, dialect_);
-  std::vector<char> doomed(table->rows.size(), 0);
+  // One page-batched pass copies every surviving row out (the compaction
+  // rewrites the heap wholesale) and records doomed flags in scan order.
+  std::vector<std::vector<SqlValue>> scanned;
+  std::vector<size_t> positions;
+  std::vector<char> doomed;
+  scanned.reserve(table->store.size());
+  positions.reserve(table->store.size());
+  doomed.reserve(table->store.size());
   size_t doomed_count = 0;
-  size_t last_doomed = 0;
-  for (size_t r = 0; r < table->rows.size(); ++r) {
+  size_t last_doomed = 0;  // index into the scan-order arrays
+  bool where_failed = false;
+  std::vector<EvalResult> where_out;
+  table->store.ForEachBatch([&](size_t base, const std::vector<SqlValue>* rows,
+                                size_t n) {
     if (stmt.where != nullptr) {
-      RowView view{&schema, &table->rows[r]};
-      EvalResult evaluated = where_code.Run(view, ctx);
-      bool error = evaluated.error;
-      Bool3 hit = error ? Bool3::kNull : Truthiness(evaluated.value, dialect_);
-      if (error) {
-        return StatementResult::Failure(StatementStatus::kError,
-                                        "DELETE WHERE evaluation failed");
-      }
-      if (hit != Bool3::kTrue) continue;
+      where_code.RunBatch(schema, rows, n, ctx, &where_out);
     }
-    doomed[r] = 1;
-    ++doomed_count;
-    last_doomed = r;
+    for (size_t r = 0; r < n; ++r) {
+      bool hit = true;
+      if (stmt.where != nullptr) {
+        if (where_out[r].error) {
+          where_failed = true;
+          return false;
+        }
+        hit = Truthiness(where_out[r].value, dialect_) == Bool3::kTrue;
+      }
+      scanned.push_back(rows[r]);
+      positions.push_back(base + r);
+      doomed.push_back(hit ? 1 : 0);
+      if (hit) {
+        ++doomed_count;
+        last_doomed = scanned.size() - 1;
+      }
+    }
+    return true;
+  });
+  if (where_failed) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "DELETE WHERE evaluation failed");
   }
   if (BugOn(BugId::kDeleteOverrun) && doomed_count >= 2) {
     // Off-by-one in the delete cursor: the row following the last match is
     // swept up as well.
-    for (size_t r = last_doomed + 1; r < table->rows.size(); ++r) {
+    for (size_t r = last_doomed + 1; r < scanned.size(); ++r) {
       if (!doomed[r]) {
         doomed[r] = 1;
         break;
@@ -776,17 +867,30 @@ StatementResult Database::ExecuteDelete(const DeleteStmt& stmt) {
     }
   }
   if (doomed_count > 0 || stmt.where == nullptr) {
+    // kIndexHeapDesync: on a multi-page table, the DELETE's index rebuild
+    // is driven by a "pages dirtied" bitmap that only covers the doomed
+    // pages — but the compaction below shifts every surviving row after
+    // the first doomed position across page boundaries, so the rebuild is
+    // skipped wholesale here and the index keeps pre-compaction positions.
+    // Probes then resolve to the wrong row (filtered out by the WHERE
+    // re-check) or to nothing (bounds-guarded), and rows go missing from
+    // index-assisted scans only; the heap itself — and with it the bare
+    // state comparison — stays correct.
+    bool skip_rebuild = BugOn(BugId::kIndexHeapDesync) && doomed_count > 0 &&
+                        table->store.paged() &&
+                        table->store.page_count() >= 2;
     std::vector<std::vector<SqlValue>> kept;
-    kept.reserve(table->rows.size());
-    for (size_t r = 0; r < table->rows.size(); ++r) {
-      if (!doomed[r]) kept.push_back(std::move(table->rows[r]));
+    kept.reserve(scanned.size());
+    for (size_t r = 0; r < scanned.size(); ++r) {
+      if (!doomed[r]) kept.push_back(std::move(scanned[r]));
     }
-    table->rows = std::move(kept);
+    table->store.ReplaceAll(std::move(kept));
     // kPartialIndexUpdateMiss: partial-index membership is not recomputed
     // on row mutations — after a DELETE its entries keep pre-delete keys
     // and positions (dangling ones are bounds-guarded at scan time).
     for (IndexData& index : indexes_) {
       if (index.table_name != table->name) continue;
+      if (skip_rebuild) continue;
       if (BugOn(BugId::kPartialIndexUpdateMiss) && index.where != nullptr) {
         continue;
       }
@@ -941,7 +1045,7 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     for (const ColumnDef& def : from[0]->columns) {
       fast.column_names.push_back(def.name);
     }
-    fast.rows = from[0]->rows;
+    fast.rows = from[0]->store.Materialized();
     return fast;
   }
 
@@ -1091,20 +1195,20 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   // Materialize the (joined) FROM rows through the shared relational core:
   // comma-list FROM is the cross product, explicit join clauses run
   // INNER/LEFT/CROSS steps (with the join-path injected bugs hooked
-  // inside). A single-table FROM — the pivot-fetch hot path — scans the
-  // table storage directly instead of materializing a copy.
+  // inside). A single-table FROM — the pivot-fetch hot path — streams the
+  // table's pages directly instead of materializing a copy.
   std::vector<std::vector<SqlValue>> joined;
   std::string relational_error;
-  const std::vector<std::vector<SqlValue>>* scan_rows = nullptr;
+  const TableStore* scan_store = nullptr;
   // Single-table scans may be answered through a secondary index (the
   // planner below); candidates are re-checked against the full WHERE, so
   // on a consistent index the result is identical to the full scan — which
-  // is exactly why corrupted entries (the index bug classes) surface as
-  // missing rows.
+  // is exactly why corrupted entries (the index and storage bug classes)
+  // surface as missing rows.
   std::vector<size_t> index_positions;
   bool used_index = false;
   if (from.size() == 1 && stmt.joins.empty()) {
-    scan_rows = &from[0]->rows;
+    scan_store = &from[0]->store;
     if (use_index_scan_ && stmt.where != nullptr) {
       bool used_partial = false;
       used_index = PlanIndexScan(*from[0], *stmt.where, ctx,
@@ -1120,7 +1224,7 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
     for (const TableData* table : from) {
       JoinInput input;
       input.schema = table->schema;
-      input.rows = &table->rows;
+      input.rows = &table->store.Materialized();
       inputs.push_back(std::move(input));
     }
     size_t null_padded = 0;
@@ -1130,7 +1234,6 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
                                       relational_error);
     }
     if (null_padded > 0) Mark(Feature::kLeftJoinNullPad);
-    scan_rows = &joined;
   }
 
   // WHERE filter + scan-level injected bugs, then projection. `kept`
@@ -1158,105 +1261,178 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
       select_code.push_back(CompileExpr(*e, schema, dialect_));
     }
   }
-  size_t scan_count = used_index ? index_positions.size() : scan_rows->size();
-  for (size_t scan_i = 0; scan_i < scan_count; ++scan_i) {
-    const std::vector<SqlValue>& combined =
-        used_index ? (*scan_rows)[index_positions[scan_i]]
-                   : (*scan_rows)[scan_i];
-    RowView view{&schema, &combined};
-
-    bool keep = true;
+  // The scan runs batch-at-a-time: the WHERE evaluates over the whole
+  // batch through RunBatch, then the rows are walked in order (per-row bug
+  // hooks, emit, first-error abort — identical to the old row-at-a-time
+  // loop), and a fully-surviving batch gets its projection evaluated
+  // batch-wise too.
+  StatementResult scan_failure;
+  bool scan_failed = false;
+  std::vector<EvalResult> where_out;
+  std::vector<std::vector<EvalResult>> proj_out(select_code.size());
+  std::vector<size_t> survivors;
+  auto process_batch = [&](const std::vector<SqlValue>* rows,
+                           size_t n) -> bool {
+    if (n == 0) return true;
     if (stmt.where != nullptr) {
-      EvalResult evaluated = where_code.Run(view, ctx);
-      if (evaluated.error) {
-        return StatementResult::Failure(StatementStatus::kError,
-                                        evaluated.message);
-      }
-      Bool3 match = Truthiness(evaluated.value, dialect_);
-      keep = match == Bool3::kTrue;
-      Mark(keep ? Feature::kRowMatched : Feature::kRowFiltered);
-      if (coverage_ != nullptr && match == Bool3::kNull) {
-        Mark(Feature::kNullComparison);
-      }
+      where_code.RunBatch(schema, rows, n, ctx, &where_out);
     }
+    survivors.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<SqlValue>& combined = rows[i];
+      RowView view{&schema, &combined};
 
-    if (keep && partial_index_where != nullptr) {
-      // Wrongly re-filter rows through the partial index predicate, as if
-      // the index were usable for IS NOT NULL inference.
-      size_t offset = 0;
-      for (const TableData* table : from) {
-        if (table->name == partial_index_table) break;
-        offset += table->columns.size();
-      }
-      RowSchema sub;
-      std::vector<SqlValue> slice;
-      for (const TableData* table : from) {
-        if (table->name != partial_index_table) continue;
-        for (const ColumnDef& def : table->columns) {
-          sub.cols.emplace_back(table->name, def.name);
+      bool keep = true;
+      if (stmt.where != nullptr) {
+        const EvalResult& evaluated = where_out[i];
+        if (evaluated.error) {
+          scan_failed = true;
+          scan_failure = StatementResult::Failure(StatementStatus::kError,
+                                                  evaluated.message);
+          return false;
         }
-        slice.assign(combined.begin() + static_cast<long>(offset),
-                     combined.begin() +
-                         static_cast<long>(offset + table->columns.size()));
-        break;
+        Bool3 match = Truthiness(evaluated.value, dialect_);
+        keep = match == Bool3::kTrue;
+        Mark(keep ? Feature::kRowMatched : Feature::kRowFiltered);
+        if (coverage_ != nullptr && match == Bool3::kNull) {
+          Mark(Feature::kNullComparison);
+        }
       }
-      RowView sub_view{&sub, &slice};
-      bool error = false;
-      if (EvaluatePredicate(*partial_index_where, sub_view, ctx, &error) !=
-              Bool3::kTrue ||
-          error) {
+
+      if (keep && partial_index_where != nullptr) {
+        // Wrongly re-filter rows through the partial index predicate, as if
+        // the index were usable for IS NOT NULL inference.
+        size_t offset = 0;
+        for (const TableData* table : from) {
+          if (table->name == partial_index_table) break;
+          offset += table->columns.size();
+        }
+        RowSchema sub;
+        std::vector<SqlValue> slice;
+        for (const TableData* table : from) {
+          if (table->name != partial_index_table) continue;
+          for (const ColumnDef& def : table->columns) {
+            sub.cols.emplace_back(table->name, def.name);
+          }
+          slice.assign(combined.begin() + static_cast<long>(offset),
+                       combined.begin() +
+                           static_cast<long>(offset + table->columns.size()));
+          break;
+        }
+        RowView sub_view{&sub, &slice};
+        bool error = false;
+        if (EvaluatePredicate(*partial_index_where, sub_view, ctx, &error) !=
+                Bool3::kTrue ||
+            error) {
+          keep = false;
+        }
+      }
+      if (keep && indexed_or_skip && stmt.where != nullptr &&
+          stmt.where->kind == ExprKind::kBinary &&
+          stmt.where->bop == BinaryOp::kOr) {
+        // Rows satisfying the first OR arm "come from the corrupted index
+        // scan" and are dropped.
+        bool error = false;
+        if (EvaluatePredicate(*stmt.where->args[0], view, ctx, &error) ==
+                Bool3::kTrue &&
+            !error) {
+          keep = false;
+        }
+      }
+      if (keep && unique_null_col >= 0 &&
+          combined[static_cast<size_t>(unique_null_col)].is_null()) {
         keep = false;
       }
-    }
-    if (keep && indexed_or_skip && stmt.where != nullptr &&
-        stmt.where->kind == ExprKind::kBinary &&
-        stmt.where->bop == BinaryOp::kOr) {
-      // Rows satisfying the first OR arm "come from the corrupted index
-      // scan" and are dropped.
-      bool error = false;
-      if (EvaluatePredicate(*stmt.where->args[0], view, ctx, &error) ==
-              Bool3::kTrue &&
-          !error) {
-        keep = false;
+      if (keep && join_pushdown_term != nullptr) {
+        bool error = false;
+        if (EvaluatePredicate(*join_pushdown_term, view, ctx, &error) ==
+                Bool3::kTrue &&
+            !error) {
+          keep = false;
+        }
       }
-    }
-    if (keep && unique_null_col >= 0 &&
-        combined[static_cast<size_t>(unique_null_col)].is_null()) {
-      keep = false;
-    }
-    if (keep && join_pushdown_term != nullptr) {
-      bool error = false;
-      if (EvaluatePredicate(*join_pushdown_term, view, ctx, &error) ==
-              Bool3::kTrue &&
-          !error) {
-        keep = false;
+
+      if (keep && tlp_null_drop) keep = false;
+
+      if (!keep) continue;
+      if (has_agg) {
+        agg_input.push_back(combined);
+        continue;
       }
+      if (stmt.select_list.empty()) {
+        result.rows.push_back(combined);
+      } else {
+        survivors.push_back(i);
+      }
+      if (need_kept) kept.push_back(combined);
     }
 
-    if (keep && tlp_null_drop) keep = false;
-
-    if (!keep) continue;
-    if (has_agg) {
-      agg_input.push_back(combined);
-      continue;
-    }
-    if (stmt.select_list.empty()) {
-      result.rows.push_back(combined);
+    if (survivors.empty()) return true;
+    if (survivors.size() == n) {
+      // Whole batch survived: evaluate each select expression over the
+      // batch, then assemble row-major — picking up the first error in
+      // (row, expr) order, exactly where the per-row loop would abort
+      // (the kernels are pure, so the extra evaluations past an aborting
+      // row are unobservable).
+      for (size_t s = 0; s < select_code.size(); ++s) {
+        select_code[s].RunBatch(schema, rows, n, ctx, &proj_out[s]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<SqlValue> projected;
+        projected.reserve(select_code.size());
+        for (size_t s = 0; s < select_code.size(); ++s) {
+          EvalResult& v = proj_out[s][i];
+          if (v.error) {
+            scan_failed = true;
+            scan_failure = StatementResult::Failure(StatementStatus::kError,
+                                                    v.message);
+            return false;
+          }
+          projected.push_back(std::move(v.value));
+        }
+        result.rows.push_back(std::move(projected));
+      }
     } else {
-      std::vector<SqlValue> projected;
-      projected.reserve(select_code.size());
-      for (const CompiledExpr& code : select_code) {
-        EvalResult v = code.Run(view, ctx);
-        if (v.error) {
-          return StatementResult::Failure(StatementStatus::kError,
-                                          v.message);
+      // Filtered batch: project only the survivors, row-at-a-time.
+      for (size_t i : survivors) {
+        RowView view{&schema, &rows[i]};
+        std::vector<SqlValue> projected;
+        projected.reserve(select_code.size());
+        for (const CompiledExpr& code : select_code) {
+          EvalResult v = code.Run(view, ctx);
+          if (v.error) {
+            scan_failed = true;
+            scan_failure = StatementResult::Failure(StatementStatus::kError,
+                                                    v.message);
+            return false;
+          }
+          projected.push_back(std::move(v.value));
         }
-        projected.push_back(std::move(v.value));
+        result.rows.push_back(std::move(projected));
       }
-      result.rows.push_back(std::move(projected));
     }
-    if (need_kept) kept.push_back(combined);
+    return true;
+  };
+
+  if (scan_store != nullptr && !used_index) {
+    scan_store->ForEachBatch(
+        [&](size_t, const std::vector<SqlValue>* rows, size_t n) {
+          return process_batch(rows, n);
+        });
+  } else if (used_index) {
+    // Candidate positions are ascending (page-coherent), so the cursor
+    // pins each page once; a position a storage bug invalidated resolves
+    // to null and is dropped, like any other bounds-guarded candidate.
+    TableStore::Cursor cursor(*scan_store);
+    for (size_t pos : index_positions) {
+      const std::vector<SqlValue>* row = cursor.TryRow(pos);
+      if (row == nullptr) continue;
+      if (!process_batch(row, 1)) break;
+    }
+  } else {
+    process_batch(joined.data(), joined.size());
   }
+  if (scan_failed) return scan_failure;
 
   if (has_agg) {
     if (stmt.group_by.empty() && agg_input.empty()) {
@@ -1388,7 +1564,14 @@ bool Database::PlanIndexScan(const TableData& table, const Expr& where,
                      candidates.end());
     positions->clear();
     for (size_t pos : candidates) {
-      if (pos < table.rows.size()) positions->push_back(pos);
+      // Positions past the current heap extent (possible only when an
+      // injected index/storage bug left stale entries) are dropped here;
+      // in-extent positions that no longer resolve to a row are dropped
+      // later by the page cursor.
+      size_t extent = table.store.paged()
+                          ? table.store.page_count() * table.store.page_rows()
+                          : table.store.size();
+      if (pos < extent) positions->push_back(pos);
     }
     *used_partial = index.where != nullptr;
     return true;

@@ -17,7 +17,9 @@
 #include "src/engine/connection.h"
 #include "src/interp/bytecode.h"
 #include "src/interp/eval.h"
+#include "src/minidb/buffer_pool.h"
 #include "src/minidb/coverage.h"
+#include "src/minidb/storage.h"
 #include "src/sqlast/ast.h"
 #include "src/sqlstmt/stmt.h"
 
@@ -26,7 +28,13 @@ namespace minidb {
 
 class Database : public Connection {
  public:
-  explicit Database(Dialect dialect, BugConfig bugs = BugConfig());
+  // `storage` selects the paged (default) or flat row heap; see
+  // StorageOptions. When `bugs` arms a storage-layer bug class, a paged
+  // configuration is automatically tightened to StorageOptions::Stress()
+  // so generator-scale tables (3-12 rows) still reach page splits and
+  // eviction pressure — HuntBug's default budget depends on that.
+  explicit Database(Dialect dialect, BugConfig bugs = BugConfig(),
+                    StorageOptions storage = StorageOptions());
 
   StatementResult Execute(const Stmt& stmt) override;
   Dialect dialect() const override { return dialect_; }
@@ -45,20 +53,32 @@ class Database : public Connection {
   size_t table_count() const { return tables_.size(); }
   size_t index_count() const { return indexes_.size(); }
 
-  // Read-only view of a table's stored rows (nullptr when the table does
-  // not exist) — identical to the row set a bare `SELECT *` returns on a
-  // clean instance. The runner's ground-truth state comparison reads the
-  // model through this instead of paying for a full SELECT round trip.
+  // Read-only view of a table's stored rows in position order (nullptr
+  // when the table does not exist) — identical to the row set a bare
+  // `SELECT *` returns on a clean instance. The runner's ground-truth
+  // state comparison reads the model through this instead of paying for a
+  // full SELECT round trip; on a clean paged engine the materialized copy
+  // is cached per table version, so repeated reads stay as cheap as the
+  // old direct vector access. The pointer is invalidated by the next
+  // mutation of the same table.
   const std::vector<std::vector<SqlValue>>* TableRows(
       const std::string& name) {
     TableData* table = FindTable(name);
-    return table != nullptr ? &table->rows : nullptr;
+    return table != nullptr ? &table->store.Materialized() : nullptr;
   }
 
   // Disables the secondary-index scan planner: every SELECT falls back to
   // the full table scan. The index-consistency property test runs the same
   // session with the planner on and off and requires identical results.
   void set_use_index_scan(bool enabled) { use_index_scan_ = enabled; }
+
+  // Introspection for the storage tests and benches.
+  const StorageOptions& storage_options() const { return storage_opts_; }
+  BufferPool& buffer_pool() { return pool_; }
+  const TableStore* table_store(const std::string& name) {
+    TableData* table = FindTable(name);
+    return table != nullptr ? &table->store : nullptr;
+  }
 
  private:
   struct TableData {
@@ -70,7 +90,11 @@ class Database : public Connection {
     // path borrows this instead of re-materializing (table, column) string
     // pairs per statement.
     RowSchema schema;
-    std::vector<std::vector<SqlValue>> rows;
+    // The row heap: flat or paged behind the connection's buffer pool
+    // (storage.h). Row *positions* (page-strided ids, dense on a clean
+    // engine) replace the old vector indexes everywhere — index entries,
+    // UPDATE journals, constraint exclusions.
+    TableStore store;
   };
   struct IndexData {
     std::string name;
@@ -86,9 +110,10 @@ class Database : public Connection {
     CompiledExpr where_code;
     // B-tree-ish ordered secondary index: (key tuple, row position) pairs
     // kept sorted by key (ValueCompare lexicographic, position tie-break).
-    // Positions reference TableData::rows; every maintenance path (INSERT
+    // Positions reference TableData::store; every maintenance path (INSERT
     // append, UPDATE/DELETE rebuild, REINDEX) keeps them consistent —
-    // unless an injected index bug is the one corrupting them.
+    // unless an injected index or storage bug is the one corrupting them
+    // (scans bounds-guard every position through the page cursor).
     std::vector<int> key_cols;  // column positions within the table
     std::vector<std::pair<std::vector<SqlValue>, size_t>> entries;
   };
@@ -146,9 +171,16 @@ class Database : public Connection {
 
   Dialect dialect_;
   BugConfig bugs_;
+  // Declared before pool_/tables_: the pool and every TableStore borrow
+  // &bugs_ and &storage_opts_ for their lifetime.
+  StorageOptions storage_opts_;
+  BufferPool pool_;
   CoverageMap* coverage_ = nullptr;
   bool alive_ = true;
   bool use_index_scan_ = true;
+  // Monotonic across Reset(): a recycled id could match a stale frame of a
+  // destroyed table still sitting in the pool.
+  uint32_t next_table_id_ = 0;
   std::vector<TableData> tables_;
   std::vector<IndexData> indexes_;
 };

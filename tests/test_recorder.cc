@@ -1,0 +1,129 @@
+// LatencyRecorder percentile correctness: exact integer nearest-rank at
+// the boundaries where the old floating-point "+ 0.9999999" ceil hack was
+// off by one (exactly integral ranks like p=20 over n=5), plus the
+// clamping and small-n behavior JsonFields depends on.
+#include <string>
+
+#include "bench/recorder.h"
+#include "tests/test_util.h"
+
+namespace pqs {
+namespace {
+
+// LatencyRecorder owns a mutex, so it is filled in place rather than
+// returned by value. Records in descending order so the tests also cover
+// the sort.
+void Fill(bench::LatencyRecorder* r, int n) {
+  for (int i = n; i >= 1; --i) r->Record(static_cast<double>(i));
+}
+
+void TestEmptyAndSingle() {
+  bench::LatencyRecorder empty;
+  CHECK_EQ(empty.count(), static_cast<size_t>(0));
+  CHECK_EQ(empty.Percentile(50), 0.0);
+  CHECK_EQ(empty.Mean(), 0.0);
+
+  bench::LatencyRecorder one;
+  one.Record(7.5);
+  // n=1: every percentile is the single sample.
+  CHECK_EQ(one.Percentile(0), 7.5);
+  CHECK_EQ(one.Percentile(0.1), 7.5);
+  CHECK_EQ(one.Percentile(50), 7.5);
+  CHECK_EQ(one.Percentile(99.9), 7.5);
+  CHECK_EQ(one.Percentile(100), 7.5);
+}
+
+void TestIntegralRanks() {
+  // Samples 1..5. Nearest-rank: rank = ceil(p/100 * 5), 1-based.
+  // p=20 → rank 1 exactly; the old FP version computed
+  // 0.2*5 = 1.0000000000000002, added 0.9999999, and returned rank 2.
+  bench::LatencyRecorder r;
+  Fill(&r, 5);
+  CHECK_EQ(r.Percentile(20), 1.0);
+  CHECK_EQ(r.Percentile(40), 2.0);
+  CHECK_EQ(r.Percentile(60), 3.0);
+  CHECK_EQ(r.Percentile(80), 4.0);
+  CHECK_EQ(r.Percentile(100), 5.0);
+  // Just past an integral rank steps to the next element.
+  CHECK_EQ(r.Percentile(20.1), 2.0);
+  CHECK_EQ(r.Percentile(80.1), 5.0);
+
+  // Samples 1..4: p=25/50/75 are integral ranks 1/2/3.
+  bench::LatencyRecorder q;
+  Fill(&q, 4);
+  CHECK_EQ(q.Percentile(25), 1.0);
+  CHECK_EQ(q.Percentile(50), 2.0);
+  CHECK_EQ(q.Percentile(75), 3.0);
+
+  // Samples 1..10: p=50 → rank 5, p=99 → rank ceil(9.9)=10.
+  bench::LatencyRecorder d;
+  Fill(&d, 10);
+  CHECK_EQ(d.Percentile(50), 5.0);
+  CHECK_EQ(d.Percentile(99), 10.0);
+}
+
+void TestTailWithFewSamples() {
+  // p=99.9 with n far below 1000 must clamp into range, not overflow or
+  // skip the last element: rank = ceil(0.999 * n).
+  for (int n : {3, 10, 100}) {
+    bench::LatencyRecorder r;
+    Fill(&r, n);
+    CHECK_EQ(r.Percentile(99.9), static_cast<double>(n));
+  }
+}
+
+void TestExactPerMilleRanks() {
+  // n=1000, samples 1..1000: p=99.9 → rank exactly 999 (not 1000),
+  // p=50 → rank exactly 500.
+  bench::LatencyRecorder r;
+  Fill(&r, 1000);
+  CHECK_EQ(r.Percentile(99.9), 999.0);
+  CHECK_EQ(r.Percentile(50), 500.0);
+  CHECK_EQ(r.Percentile(99), 990.0);
+  // n=2000: p=99.9 → ceil(1998.0) = 1998.
+  bench::LatencyRecorder big;
+  Fill(&big, 2000);
+  CHECK_EQ(big.Percentile(99.9), 1998.0);
+}
+
+void TestClamps() {
+  bench::LatencyRecorder r;
+  Fill(&r, 9);
+  CHECK_EQ(r.Percentile(-5), 1.0);
+  CHECK_EQ(r.Percentile(0), 1.0);
+  CHECK_EQ(r.Percentile(100), 9.0);
+  CHECK_EQ(r.Percentile(250), 9.0);
+}
+
+void TestJsonFieldsMatchesComponents() {
+  bench::LatencyRecorder r;
+  Fill(&r, 200);
+  char expected[256];
+  std::snprintf(expected, sizeof expected,
+                "\"count\": %zu, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                "\"p99_ms\": %.4f, \"p999_ms\": %.4f",
+                r.count(), r.Mean() * 1e3, r.Percentile(50) * 1e3,
+                r.Percentile(99) * 1e3, r.Percentile(99.9) * 1e3);
+  // The single-snapshot JsonFields must agree exactly with the individual
+  // accessors when nothing records concurrently.
+  CHECK_EQ(r.JsonFields(), std::string(expected));
+
+  bench::LatencyRecorder empty;
+  CHECK_EQ(empty.JsonFields(),
+           std::string("\"count\": 0, \"mean_ms\": 0.0000, "
+                       "\"p50_ms\": 0.0000, \"p99_ms\": 0.0000, "
+                       "\"p999_ms\": 0.0000"));
+}
+
+}  // namespace
+}  // namespace pqs
+
+int main() {
+  pqs::TestEmptyAndSingle();
+  pqs::TestIntegralRanks();
+  pqs::TestTailWithFewSamples();
+  pqs::TestExactPerMilleRanks();
+  pqs::TestClamps();
+  pqs::TestJsonFieldsMatchesComponents();
+  return pqs::test::Summary("test_recorder");
+}
