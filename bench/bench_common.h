@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/json.h"
 #include "src/pqs/campaign.h"
 
 namespace pqs {
@@ -38,26 +39,9 @@ inline const char* DialectDisplayName(Dialect d) {
   return "?";
 }
 
+// Single escaping rule for every artifact; see src/obs/json.h.
 inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return obs::JsonEscape(s);
 }
 
 // Writes one machine-readable result artifact next to the stdout table.

@@ -58,10 +58,11 @@ size_t CountDirLoc(const std::string& dir) {
 
 void PrintTable4() {
   bench::PrintHeader("Table 4a: component sizes (LOC of this repository)");
-  const char* modules[] = {"common",   "sqlvalue",  "sqlast",
-                           "sqlstmt",  "sqlexpr",   "sqlmeta",
-                           "interp",   "minidb",    "engine",
-                           "sqlparser", "sqlite3db", "pqs"};
+  const char* modules[] = {"common",    "sqlvalue",  "sqlast",
+                           "sqlstmt",   "sqlexpr",   "sqlmeta",
+                           "interp",    "minidb",    "engine",
+                           "obs",       "sqlparser", "sqlite3db",
+                           "pqs"};
   size_t total = 0;
   for (const char* m : modules) {
     size_t loc = CountDirLoc(std::string("src/") + m);

@@ -21,6 +21,8 @@
 #include "bench/bench_common.h"
 #include "bench/recorder.h"
 #include "src/minidb/database.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/pqs/runner.h"
 #include "src/sqlite3db/sqlite_connection.h"
 
@@ -404,6 +406,73 @@ std::string MeasureSqliteStmtCache() {
   return buf;
 }
 
+// One telemetry-instrumented run of the sweep workload with wall-clock
+// spans enabled, exported as the "telemetry" section. The logical-clock
+// histograms ("phase_profile") are deterministic — byte-identical across
+// worker counts and machines — while the wall-clock histograms
+// ("phase_wall_micros") are the bench-only opt-in that ties Algorithm-1
+// stages to real time. check_perf_smoke.py gates on the profile's pipeline
+// stages being populated.
+std::string MeasurePhaseProfile() {
+  RunnerOptions opts;
+  opts.seed = 20200604;
+  opts.databases = 192;
+  opts.queries_per_database = 25;
+  EngineFactory factory = []() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+  };
+  obs::SetPhaseWallClock(true);
+  PqsRunner runner(factory, opts);
+  RunReport report = runner.Run();
+  obs::SetPhaseWallClock(false);
+
+  bench::PrintHeader("Phase profile: Algorithm-1 pipeline stages");
+  printf("%20s %10s %12s %10s %14s\n", "phase", "spans", "ticks/span",
+         "max_ticks", "wall(us)/span");
+  for (int p = 0; p < static_cast<int>(obs::Phase::kCount_); ++p) {
+    obs::Phase phase = static_cast<obs::Phase>(p);
+    const obs::Histogram& ticks = report.metrics.phase_ticks(phase);
+    const obs::Histogram& wall = report.metrics.phase_wall_micros(phase);
+    printf("%20s %10llu %12.2f %10llu %14.2f\n", obs::PhaseName(phase),
+           static_cast<unsigned long long>(ticks.count()),
+           ticks.count() > 0
+               ? static_cast<double>(ticks.sum()) / ticks.count()
+               : 0.0,
+           static_cast<unsigned long long>(ticks.max()),
+           wall.count() > 0 ? static_cast<double>(wall.sum()) / wall.count()
+                            : 0.0);
+  }
+  return "  \"telemetry\": " + report.metrics.ToJson(true) + ",\n";
+}
+
+// Kill-switch cost: the 1-worker workload with telemetry enabled vs
+// disabled (disabled leaves the session TLS slot null, so every emit is a
+// null-branch). check_perf_smoke.py fails the run if the enabled rate
+// drops more than 5% below the disabled one.
+std::string MeasureTelemetryOverhead() {
+  SweepPoint on = MeasureWorkers(1);
+  obs::SetTelemetryEnabled(false);
+  SweepPoint off = MeasureWorkers(1);
+  obs::SetTelemetryEnabled(true);
+  double ratio = off.statements_per_second > 0
+                     ? on.statements_per_second / off.statements_per_second
+                     : 0.0;
+  bench::PrintHeader("Telemetry overhead: enabled vs kill-switched");
+  printf("  enabled: %.4fs (%.0f stmts/sec)   disabled: %.4fs "
+         "(%.0f stmts/sec)   ratio: %.4f\n",
+         on.seconds, on.statements_per_second, off.seconds,
+         off.statements_per_second, ratio);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"telemetry_overhead\": {\"seconds_on\": %.6f, "
+                "\"seconds_off\": %.6f, \"stmts_per_second_on\": %.1f, "
+                "\"stmts_per_second_off\": %.1f, "
+                "\"throughput_ratio_on_vs_off\": %.4f},\n",
+                on.seconds, off.seconds, on.statements_per_second,
+                off.statements_per_second, ratio);
+  return buf;
+}
+
 void RunWorkerSweep(int max_workers, const std::string& extra_json) {
   std::vector<int> counts;
   for (int w = 1; w < max_workers; w *= 2) counts.push_back(w);
@@ -526,7 +595,9 @@ int main(int argc, char** argv) {
 
   pqs::RunWorkerSweep(max_workers, pqs::MeasureScanRows() +
                                        pqs::MeasureSqliteStmtCache() +
-                                       pqs::MeasureZipfWorkload());
+                                       pqs::MeasureZipfWorkload() +
+                                       pqs::MeasurePhaseProfile() +
+                                       pqs::MeasureTelemetryOverhead());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -74,6 +74,34 @@ def main(argv):
             fail("%s: %.0f rows/sec is below %.0f (70%% of the checked-in "
                  "floor %.0f)" % (where, rps, scan_minimum, scan_floor))
 
+    telemetry = bench.get("telemetry")
+    if not isinstance(telemetry, dict):
+        fail("telemetry section missing")
+    profile = telemetry.get("phase_profile")
+    if not isinstance(profile, dict):
+        fail("telemetry.phase_profile section missing")
+    # Stages every minidb run exercises must have recorded spans. "render"
+    # is legitimately 0 on minidb (only the sqlite3 adapter renders SQL
+    # text) and "reduce" only fires on findings, so neither is gated.
+    for phase in ("generate", "rectify", "engine_execute",
+                  "ground_truth_replay", "oracle_check"):
+        stage = profile.get(phase)
+        if not isinstance(stage, dict):
+            fail("phase_profile.%s missing" % phase)
+        if stage.get("spans", 0) <= 0:
+            fail("phase_profile.%s recorded no spans" % phase)
+    if "phase_wall_micros" not in telemetry:
+        fail("telemetry.phase_wall_micros missing (bench runs opt into "
+             "wall-clock spans)")
+
+    overhead = bench.get("telemetry_overhead")
+    if not isinstance(overhead, dict):
+        fail("telemetry_overhead section missing")
+    ratio = overhead.get("throughput_ratio_on_vs_off", 0.0)
+    if ratio < 0.95:
+        fail("telemetry-on throughput is %.1f%% of telemetry-off "
+             "(must stay above 95%%)" % (ratio * 100.0))
+
     one_worker = [p for p in sweep if p.get("workers") == 1]
     if not one_worker:
         fail("no 1-worker sweep point")

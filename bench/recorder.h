@@ -12,10 +12,11 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/obs/json.h"
 
 namespace pqs {
 namespace bench {
@@ -78,15 +79,23 @@ class LatencyRecorder {
       for (double s : sorted) total += s;
       mean = total / static_cast<double>(sorted.size());
     }
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "\"count\": %zu, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
-                  "\"p99_ms\": %.4f, \"p999_ms\": %.4f",
-                  sorted.size(), mean * 1e3,
-                  PercentileOfSorted(sorted, 50) * 1e3,
-                  PercentileOfSorted(sorted, 99) * 1e3,
-                  PercentileOfSorted(sorted, 99.9) * 1e3);
-    return buf;
+    // Formatted through the shared serializer (src/obs/json.h) so the
+    // numeric format matches every other BENCH_*.json section.
+    std::string out;
+    obs::AppendJsonKey(&out, "count");
+    out += std::to_string(sorted.size());
+    const struct { const char* key; double ms; } fields[] = {
+        {"mean_ms", mean * 1e3},
+        {"p50_ms", PercentileOfSorted(sorted, 50) * 1e3},
+        {"p99_ms", PercentileOfSorted(sorted, 99) * 1e3},
+        {"p999_ms", PercentileOfSorted(sorted, 99.9) * 1e3},
+    };
+    for (const auto& f : fields) {
+      out += ", ";
+      obs::AppendJsonKey(&out, f.key);
+      out += obs::JsonNumber(f.ms, 4);
+    }
+    return out;
   }
 
  private:

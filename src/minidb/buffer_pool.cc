@@ -1,5 +1,7 @@
 #include "src/minidb/buffer_pool.h"
 
+#include "src/obs/telemetry.h"
+
 namespace pqs {
 namespace minidb {
 
@@ -32,7 +34,6 @@ BufferPool::BufferPool(uint32_t frames, uint64_t seed, const BugConfig* bugs)
 void BufferPool::Reset() {
   frames_.assign(configured_frames_, Frame());
   hand_ = initial_hand_;
-  eviction_log_.clear();
   ++epoch_;
 }
 
@@ -71,7 +72,8 @@ void BufferPool::EvictFrame(int index) {
   if (!f.in_use) return;
   ++stats_.evictions;
   ++epoch_;
-  if (trace_) eviction_log_.emplace_back(f.table, f.page);
+  obs::Count(obs::Counter::kPoolEvictions);
+  obs::Emit(obs::EventKind::kEviction, f.table, f.page);
   if (f.dirty) {
     // kEvictDropsDirtyPage: the write-back is skipped, so everything
     // modified since the page was loaded silently reverts to the disk
@@ -81,6 +83,7 @@ void BufferPool::EvictFrame(int index) {
     } else {
       f.backing->rows = f.rows;
       ++stats_.dirty_writebacks;
+      obs::Count(obs::Counter::kPoolWritebacks);
     }
   }
   f.in_use = false;
@@ -96,6 +99,7 @@ int BufferPool::Fetch(uint32_t table, uint32_t page, DiskPage* disk,
   int idx = FindFrame(table, page);
   if (idx >= 0) {
     ++stats_.hits;
+    obs::Count(obs::Counter::kPoolHits);
     Frame& f = frames_[idx];
     // kStalePageReadAfterUpdate: a read hit on a frame dirtied by UPDATE
     // "revalidates" it from disk, discarding the in-frame modifications —
@@ -118,6 +122,7 @@ int BufferPool::Fetch(uint32_t table, uint32_t page, DiskPage* disk,
   }
 
   ++stats_.misses;
+  obs::Count(obs::Counter::kPoolMisses);
   idx = PickVictim();
   if (idx < 0) {
     // Every frame is pinned (deeply nested access on a tiny pool): grow by
@@ -155,14 +160,17 @@ void BufferPool::FlushTable(uint32_t table) {
       f.dirty = false;
       f.update_dirtied = false;
       ++stats_.dirty_writebacks;
+      obs::Count(obs::Counter::kPoolWritebacks);
       ++epoch_;
     }
   }
 }
 
 void BufferPool::DiscardTable(uint32_t table) {
+  uint32_t dropped = 0;
   for (Frame& f : frames_) {
     if (f.in_use && f.table == table) {
+      ++dropped;
       f.in_use = false;
       f.dirty = false;
       f.update_dirtied = false;
@@ -172,6 +180,12 @@ void BufferPool::DiscardTable(uint32_t table) {
       f.rows.clear();
       ++epoch_;
     }
+  }
+  // A wholesale discard is a cache invalidation: every cached frame of the
+  // table is dropped without write-back (the disk image was rewritten).
+  if (dropped > 0) {
+    obs::Count(obs::Counter::kCacheInvalidations);
+    obs::Emit(obs::EventKind::kCacheInvalidation, dropped);
   }
 }
 

@@ -142,12 +142,11 @@ class BufferPool {
   size_t frame_count() const { return frames_.size(); }
   int pinned_frames() const;
 
-  // When enabled, every eviction appends (table, page) to eviction_log().
-  // Off by default; the determinism unit tests turn it on.
-  void set_trace(bool on) { trace_ = on; }
-  const std::vector<std::pair<uint32_t, uint32_t>>& eviction_log() const {
-    return eviction_log_;
-  }
+  // Pool activity is also emitted as telemetry when a session context is
+  // installed (src/obs/telemetry.h): hits/misses/evictions/writebacks as
+  // counters, and each eviction as a kEviction flight-recorder event
+  // carrying (table, page) — the replacement for the old set_trace /
+  // eviction_log bespoke API, in the same deterministic order.
 
  private:
   int FindFrame(uint32_t table, uint32_t page) const;
@@ -161,8 +160,6 @@ class BufferPool {
   const BugConfig* bugs_;  // not owned; may be null (clean pool)
   Stats stats_;
   uint64_t epoch_ = 0;
-  bool trace_ = false;
-  std::vector<std::pair<uint32_t, uint32_t>> eviction_log_;
 };
 
 }  // namespace minidb

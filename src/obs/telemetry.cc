@@ -1,0 +1,76 @@
+#include "src/obs/telemetry.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace pqs {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{true};
+std::atomic<bool> g_phase_wall_clock{false};
+
+thread_local SessionTelemetry* t_session = nullptr;
+
+uint64_t WallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void SetTelemetryEnabled(bool enabled) {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TelemetryEnabled() {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void SetPhaseWallClock(bool enabled) {
+  g_phase_wall_clock.store(enabled, std::memory_order_relaxed);
+}
+
+bool PhaseWallClockEnabled() {
+  return g_phase_wall_clock.load(std::memory_order_relaxed);
+}
+
+SessionTelemetry* CurrentTelemetry() { return t_session; }
+
+ScopedSessionTelemetry::ScopedSessionTelemetry(SessionTelemetry* session)
+    : previous_(t_session) {
+  t_session = TelemetryEnabled() ? session : nullptr;
+}
+
+ScopedSessionTelemetry::~ScopedSessionTelemetry() { t_session = previous_; }
+
+ScopedPhase::ScopedPhase(Phase phase) : session_(t_session), phase_(phase) {
+  if (session_ == nullptr) return;
+  start_tick_ = session_->clock;
+  ++session_->span_depth;
+  session_->metrics.GaugeMax(Gauge::kMaxSpanDepth, session_->span_depth);
+  session_->recorder.Emit(session_->clock, EventKind::kPhaseBegin,
+                          static_cast<uint32_t>(phase_),
+                          session_->span_depth);
+  if (PhaseWallClockEnabled()) start_wall_us_ = WallMicros();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (session_ == nullptr) return;
+  uint64_t ticks = session_->clock - start_tick_;
+  session_->metrics.RecordPhaseTicks(phase_, ticks);
+  if (start_wall_us_ != 0) {
+    session_->metrics.RecordPhaseWallMicros(phase_,
+                                            WallMicros() - start_wall_us_);
+  }
+  session_->recorder.Emit(session_->clock, EventKind::kPhaseEnd,
+                          static_cast<uint32_t>(phase_),
+                          static_cast<uint32_t>(ticks));
+  --session_->span_depth;
+}
+
+}  // namespace obs
+}  // namespace pqs

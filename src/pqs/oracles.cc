@@ -56,6 +56,7 @@ Finding Finding::Clone() const {
   out.pivot = pivot;
   out.message = message;
   out.seed = seed;
+  out.flight = flight;
   return out;
 }
 

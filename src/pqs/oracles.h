@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/engine/connection.h"
+#include "src/obs/flight_recorder.h"
 #include "src/sqlast/ast.h"
 #include "src/sqlvalue/value.h"
 
@@ -51,6 +52,11 @@ struct Finding {
   std::vector<SqlValue> pivot;
   std::string message;
   uint64_t seed = 0;
+  // Flight-recorder provenance: the session's most recent events at the
+  // moment the finding was recorded, oldest first (empty only when the
+  // telemetry kill switch was off). The last event is always the
+  // kFindingRecorded marker for this finding.
+  std::vector<obs::FlightEvent> flight;
 
   Finding() = default;
   Finding(Finding&&) = default;

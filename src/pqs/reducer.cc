@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/interp/eval.h"
+#include "src/obs/telemetry.h"
 
 namespace pqs {
 
@@ -24,6 +25,8 @@ bool ReplaySetup(Connection* conn, const std::vector<StmtPtr>& statements) {
   for (size_t i = 0; i + 1 < statements.size(); ++i) {
     if (statements[i] == nullptr) continue;
     StatementResult r = conn->Execute(*statements[i]);
+    obs::CountStatement(static_cast<uint32_t>(statements[i]->kind()),
+                        !r.ok());
     if (r.status == StatementStatus::kCrash ||
         r.status == StatementStatus::kUnsupported) {
       return false;
@@ -161,12 +164,20 @@ bool FindingReproduces(const EngineFactory& buggy, const Finding& finding,
 
 Finding ReduceFinding(const EngineFactory& buggy, const Finding& finding,
                       const EngineFactory* reference) {
+  // Reduction probes profile under kReduce when a telemetry session is
+  // installed; campaign-level reduction runs outside any session and the
+  // span is then a no-op.
+  obs::ScopedPhase span(obs::Phase::kReduce);
   Finding out;
   out.oracle = finding.oracle;
   out.dialect = finding.dialect;
   out.pivot = finding.pivot;
   out.message = finding.message;
   out.seed = finding.seed;
+  // The reduced finding keeps the original's flight-recorder provenance:
+  // the events describe the session that *found* the bug, which the
+  // shrunken statement list no longer replays on its own.
+  out.flight = finding.flight;
 
   // One connection pair serves every probe of this reduction.
   ProbeEngines engines(buggy, reference);

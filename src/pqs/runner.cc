@@ -10,6 +10,7 @@
 #include "src/interp/bytecode.h"
 #include "src/interp/eval.h"
 #include "src/minidb/database.h"
+#include "src/obs/telemetry.h"
 #include "src/pqs/scheduler.h"
 #include "src/sqlexpr/rectify.h"
 #include "src/sqlmeta/oracle.h"
@@ -52,26 +53,34 @@ std::vector<StmtPtr> CloneSession(const DatabasePlan& plan,
   return out;
 }
 
-// Statement-stream distribution tallies for the mutation actions.
+// Statement-stream distribution tallies for the mutation actions, mirrored
+// into the telemetry registry (the obs counters are the migration target
+// for these tallies; RunStats keeps them because report consumers read it).
 void TallyAction(const Stmt& stmt, RunStats* stats) {
   switch (stmt.kind()) {
     case StmtKind::kInsert:
       ++stats->actions_insert;
+      obs::Count(obs::Counter::kSchedInsert);
       break;
     case StmtKind::kUpdate:
       ++stats->actions_update;
+      obs::Count(obs::Counter::kSchedUpdate);
       break;
     case StmtKind::kDelete:
       ++stats->actions_delete;
+      obs::Count(obs::Counter::kSchedDelete);
       break;
     case StmtKind::kCreateIndex:
       ++stats->actions_create_index;
+      obs::Count(obs::Counter::kSchedCreateIndex);
       break;
     case StmtKind::kDropIndex:
       ++stats->actions_drop_index;
+      obs::Count(obs::Counter::kSchedDropIndex);
       break;
     case StmtKind::kMaintenance:
       ++stats->actions_maintenance;
+      obs::Count(obs::Counter::kSchedMaintenance);
       break;
     default:
       break;
@@ -174,6 +183,7 @@ bool PivotWorstCaseRank(
 // order reconstructs exactly what the sequential loop would have reported.
 struct DbRunResult {
   RunStats stats;
+  obs::MetricsRegistry metrics;
   std::vector<Finding> findings;
   bool unsupported_engine = false;
   bool factory_failed = false;  // factory returned null; run ends before it
@@ -182,9 +192,12 @@ struct DbRunResult {
 // One iteration of the Algorithm 1+3 loop: build a database from its
 // private RNG stream, then pivot-check queries against the oracles. This
 // body is what the paper runs in every fuzzing thread; workers execute it
-// unchanged and only the merge below is sharding-aware.
-DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
-                           const RunnerOptions& options, uint64_t db_seed) {
+// unchanged and only the merge below is sharding-aware. Runs under an
+// installed SessionTelemetry (see the RunOneDatabase wrapper), so engine
+// internals emit into this session's registry and flight ring.
+DbRunResult RunOneDatabaseImpl(const WorkerEngineFactory& factory, int worker,
+                               const RunnerOptions& options,
+                               uint64_t db_seed) {
   DbRunResult out;
   Rng rng(db_seed);
   ConnectionPtr conn = factory(worker);
@@ -194,7 +207,11 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
   }
   Dialect dialect = conn->dialect();
   Generator generator(options.gen, dialect);
-  DatabasePlan plan = generator.GenerateDatabase(&rng);
+  DatabasePlan plan;
+  {
+    obs::ScopedPhase span(obs::Phase::kGenerate);
+    plan = generator.GenerateDatabase(&rng);
+  }
   ++out.stats.databases_created;
 
   // Ground truth under mutation (DESIGN §9): a clean MiniDB instance —
@@ -212,6 +229,16 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
   auto record = [&](Finding finding) {
     finding.dialect = dialect;
     finding.seed = options.seed;
+    // Provenance: stamp the finding into the flight ring, then ship the
+    // ring's contents with the finding. The dump is therefore never empty
+    // (it at least holds its own kFindingRecorded marker) and is a pure
+    // function of the session seed — worker-count-invariant.
+    if (obs::SessionTelemetry* t = obs::CurrentTelemetry()) {
+      t->metrics.Count(obs::Counter::kFindingsRecorded);
+      t->recorder.Emit(t->clock, obs::EventKind::kFindingRecorded,
+                       static_cast<uint32_t>(finding.oracle));
+      finding.flight = t->recorder.Dump();
+    }
     out.findings.push_back(std::move(finding));
     finding_in_db = true;
   };
@@ -219,10 +246,19 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
   // --- Setup phase: DDL + DML. ---------------------------------------
   size_t setup_done = 0;
   for (const StmtPtr& stmt : plan.statements) {
-    StatementResult result = conn->Execute(*stmt);
+    StatementResult result;
+    {
+      obs::ScopedPhase span(obs::Phase::kEngineExecute);
+      result = conn->Execute(*stmt);
+      obs::CountStatement(static_cast<uint32_t>(stmt->kind()), !result.ok());
+    }
     ++out.stats.statements_executed;
     ++setup_done;
-    StatementResult model_result = model.Execute(*stmt);
+    StatementResult model_result;
+    {
+      obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+      model_result = model.Execute(*stmt);
+    }
     scheduler.Observe(*stmt, model_result.ok());
     if (result.status == StatementStatus::kConstraintViolation) {
       ++out.stats.constraint_violations;
@@ -252,10 +288,20 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     // (DESIGN §9). Every action runs on the engine *and* the ground-truth
     // model; a spurious error or crash is an oracle violation right here.
     for (StmtPtr& action : scheduler.NextBatch(&rng)) {
-      StatementResult engine_result = conn->Execute(*action);
+      StatementResult engine_result;
+      {
+        obs::ScopedPhase span(obs::Phase::kEngineExecute);
+        engine_result = conn->Execute(*action);
+        obs::CountStatement(static_cast<uint32_t>(action->kind()),
+                            !engine_result.ok());
+      }
       ++out.stats.statements_executed;
       TallyAction(*action, &out.stats);
-      StatementResult model_result = model.Execute(*action);
+      StatementResult model_result;
+      {
+        obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+        model_result = model.Execute(*action);
+      }
       scheduler.Observe(*action, model_result.ok());
       StatementStatus status = engine_result.status;
       std::string error = std::move(engine_result.error);
@@ -293,7 +339,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       const TableSchema& table = plan.tables[rng.Below(plan.tables.size())];
       SelectStmt fetch;
       fetch.from_tables = {table.name};
-      StatementResult rows = conn->Execute(fetch);
+      StatementResult rows;
+      {
+        obs::ScopedPhase span(obs::Phase::kEngineExecute);
+        rows = conn->Execute(fetch);
+        obs::CountStatement(static_cast<uint32_t>(StmtKind::kSelect),
+                            !rows.ok());
+      }
       ++out.stats.statements_executed;
       if (rows.status == StatementStatus::kUnsupported) {
         out.unsupported_engine = true;
@@ -315,7 +367,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       const std::vector<std::vector<SqlValue>>* model_rows =
           model.TableRows(table.name);
       ++out.stats.state_compares;
-      if (model_rows != nullptr && !SameRowMultiset(rows.rows, *model_rows)) {
+      bool state_diverged;
+      {
+        obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+        state_diverged = model_rows != nullptr &&
+                         !SameRowMultiset(rows.rows, *model_rows);
+      }
+      if (state_diverged) {
         Finding finding;
         finding.oracle = OracleKind::kContainment;
         finding.statements = CloneSession(plan, mutation_log, &fetch);
@@ -329,14 +387,18 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       }
 
       std::vector<const TableSchema*> single{&table};
-      ExprPtr predicate = generator.GeneratePredicate(single, &rng);
-      if (options.family == OracleFamily::kNorec) {
-        // NoREC's optimized side engages the planner; the partial-index
-        // probe keeps the partial-index scan paths reachable there too.
-        if (ExprPtr probe =
-                scheduler.MaybePartialIndexProbe(table.name, &rng)) {
-          predicate = MakeBinary(BinaryOp::kAnd, std::move(probe),
-                                 std::move(predicate));
+      ExprPtr predicate;
+      {
+        obs::ScopedPhase span(obs::Phase::kGenerate);
+        predicate = generator.GeneratePredicate(single, &rng);
+        if (options.family == OracleFamily::kNorec) {
+          // NoREC's optimized side engages the planner; the partial-index
+          // probe keeps the partial-index scan paths reachable there too.
+          if (ExprPtr probe =
+                  scheduler.MaybePartialIndexProbe(table.name, &rng)) {
+            predicate = MakeBinary(BinaryOp::kAnd, std::move(probe),
+                                   std::move(predicate));
+          }
         }
       }
       int meta_depth = predicate->Depth();
@@ -348,22 +410,27 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       sqlmeta::MetaOutcome outcome;
       OracleKind mismatch_oracle = OracleKind::kNorec;
       if (options.family == OracleFamily::kNorec) {
+        obs::ScopedPhase span(obs::Phase::kOracleCheck);
         outcome = sqlmeta::RunNorecCheck(*conn, table.name, *predicate);
       } else {
         mismatch_oracle = OracleKind::kTlp;
         std::unique_ptr<SelectStmt> full;
-        if (rng.Chance(options.gen.tlp_rows_shape_probability)) {
-          // Plain row-set shape: SELECT * recombined by multiset union.
-          full = std::make_unique<SelectStmt>();
-          full->from_tables.push_back(table.name);
-        } else {
-          full = generator.GenerateAggregateQuery(table, &rng);
+        {
+          obs::ScopedPhase span(obs::Phase::kGenerate);
+          if (rng.Chance(options.gen.tlp_rows_shape_probability)) {
+            // Plain row-set shape: SELECT * recombined by multiset union.
+            full = std::make_unique<SelectStmt>();
+            full->from_tables.push_back(table.name);
+          } else {
+            full = generator.GenerateAggregateQuery(table, &rng);
+          }
         }
         if (full->HasAggregates()) {
           ++out.stats.aggregate_queries;
           if (!full->group_by.empty()) ++out.stats.group_by_queries;
           if (full->having != nullptr) ++out.stats.having_queries;
         }
+        obs::ScopedPhase span(obs::Phase::kOracleCheck);
         outcome = sqlmeta::RunTlpCheck(*conn, *full, *predicate);
       }
       out.stats.statements_executed += outcome.executed.size();
@@ -376,6 +443,9 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         return out;
       }
       ++out.stats.queries_checked;
+      obs::Emit(obs::EventKind::kOracleCheck,
+                static_cast<uint32_t>(mismatch_oracle),
+                outcome.verdict != sqlmeta::MetaVerdict::kOk ? 1u : 0u);
       if (options.family == OracleFamily::kNorec) {
         ++out.stats.norec_checks;
       } else {
@@ -403,7 +473,11 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       break;
     }
 
-    QueryShape shape = generator.GenerateQueryShape(plan, &rng);
+    QueryShape shape;
+    {
+      obs::ScopedPhase span(obs::Phase::kGenerate);
+      shape = generator.GenerateQueryShape(plan, &rng);
+    }
     const std::vector<const TableSchema*>& from = shape.tables;
 
     // Pivot selection through the Connection API: fetch each FROM
@@ -418,7 +492,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     for (const TableSchema* table : from) {
       SelectStmt fetch;
       fetch.from_tables = {table->name};
-      StatementResult rows = conn->Execute(fetch);
+      StatementResult rows;
+      {
+        obs::ScopedPhase span(obs::Phase::kEngineExecute);
+        rows = conn->Execute(fetch);
+        obs::CountStatement(static_cast<uint32_t>(StmtKind::kSelect),
+                            !rows.ok());
+      }
       ++out.stats.statements_executed;
       if (rows.status == StatementStatus::kUnsupported) {
         out.unsupported_engine = true;
@@ -445,7 +525,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       const std::vector<std::vector<SqlValue>>* model_rows =
           model.TableRows(table->name);
       ++out.stats.state_compares;
-      if (model_rows != nullptr && !SameRowMultiset(rows.rows, *model_rows)) {
+      bool state_diverged;
+      {
+        obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+        state_diverged = model_rows != nullptr &&
+                         !SameRowMultiset(rows.rows, *model_rows);
+      }
+      if (state_diverged) {
         Finding finding;
         finding.oracle = OracleKind::kContainment;
         finding.statements = CloneSession(plan, mutation_log, &fetch);
@@ -486,6 +572,8 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         break;
       }
       table_rows.push_back(std::move(rows.rows));
+      obs::PivotSelected(static_cast<uint32_t>(table_rows.size() - 1),
+                         static_cast<uint32_t>(table_rows.back().size()));
       const auto& row = table_rows.back()[rng.Below(table_rows.back().size())];
       for (size_t c = 0; c < table->columns.size() && c < row.size(); ++c) {
         pivot_schema.cols.emplace_back(table->name, table->columns[c].name);
@@ -511,8 +599,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       if (clause.kind != JoinKind::kCross) {
         std::vector<const TableSchema*> earlier(from.begin(),
                                                 from.begin() + j + 1);
-        ExprPtr on = generator.GenerateJoinCondition(earlier, from[j + 1],
-                                                     &rng);
+        ExprPtr on;
+        {
+          obs::ScopedPhase span(obs::Phase::kGenerate);
+          on = generator.GenerateJoinCondition(earlier, from[j + 1], &rng);
+        }
+        // Covers the ON evaluation on the pivot and the rectifying wrap.
+        obs::ScopedPhase rectify_span(obs::Phase::kRectify);
         bool on_error = false;
         Bool3 raw_on =
             EvaluatePredicate(*on, pivot_view, ground_truth, &on_error);
@@ -534,25 +627,33 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       continue;
     }
 
-    ExprPtr predicate = generator.GeneratePredicate(from, &rng);
+    ExprPtr predicate;
+    {
+      obs::ScopedPhase span(obs::Phase::kGenerate);
+      predicate = generator.GeneratePredicate(from, &rng);
 
-    // Partial-index probe: sometimes AND a live partial index's predicate
-    // in front of the WHERE, making the partial-index scan planner
-    // reachable. Rectification leaves the conjunct intact exactly when the
-    // raw composite is TRUE on the pivot (the other branches wrap the
-    // whole expression, and the planner then simply falls back to a full
-    // scan — sound either way).
-    if (ExprPtr probe =
-            scheduler.MaybePartialIndexProbe(from[0]->name, &rng)) {
-      predicate = MakeBinary(BinaryOp::kAnd, std::move(probe),
-                             std::move(predicate));
+      // Partial-index probe: sometimes AND a live partial index's predicate
+      // in front of the WHERE, making the partial-index scan planner
+      // reachable. Rectification leaves the conjunct intact exactly when
+      // the raw composite is TRUE on the pivot (the other branches wrap
+      // the whole expression, and the planner then simply falls back to a
+      // full scan — sound either way).
+      if (ExprPtr probe =
+              scheduler.MaybePartialIndexProbe(from[0]->name, &rng)) {
+        predicate = MakeBinary(BinaryOp::kAnd, std::move(probe),
+                               std::move(predicate));
+      }
     }
 
     // Algorithm 3: evaluate the raw predicate on the pivot with
     // reference semantics, tally the branch, and rectify to TRUE.
     bool eval_error = false;
-    Bool3 raw =
-        EvaluatePredicate(*predicate, pivot_view, ground_truth, &eval_error);
+    Bool3 raw;
+    {
+      obs::ScopedPhase span(obs::Phase::kRectify);
+      raw = EvaluatePredicate(*predicate, pivot_view, ground_truth,
+                              &eval_error);
+    }
     if (eval_error) {
       // The generator statically prevents this; defensive skip.
       ++out.stats.queries_skipped;
@@ -580,9 +681,12 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
         ++out.stats.rectified_null;
         break;
     }
-    ExprPtr where = options.gen.rectify
-                        ? RectifyToTrue(std::move(predicate), raw)
-                        : std::move(predicate);
+    ExprPtr where;
+    {
+      obs::ScopedPhase span(obs::Phase::kRectify);
+      where = options.gen.rectify ? RectifyToTrue(std::move(predicate), raw)
+                                  : std::move(predicate);
+    }
 
     SelectStmt query;
     query.distinct = shape.distinct;
@@ -602,8 +706,15 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
     // sometimes with slack so non-binding limits are exercised too.
     if (shape.want_limit && options.gen.rectify) {
       int64_t rank = 0;
-      if (!PivotWorstCaseRank(query, from, table_rows, pivot_schema, pivot,
-                              ground_truth, &rank)) {
+      bool rank_ok;
+      {
+        // The rank bound reruns the query under reference semantics — the
+        // same work the ground-truth model does, so it profiles there.
+        obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+        rank_ok = PivotWorstCaseRank(query, from, table_rows, pivot_schema,
+                                     pivot, ground_truth, &rank);
+      }
+      if (!rank_ok) {
         ++out.stats.queries_skipped;
         continue;
       }
@@ -612,7 +723,13 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       ++out.stats.limited_queries;
     }
 
-    StatementResult result = conn->Execute(query);
+    StatementResult result;
+    {
+      obs::ScopedPhase span(obs::Phase::kEngineExecute);
+      result = conn->Execute(query);
+      obs::CountStatement(static_cast<uint32_t>(StmtKind::kSelect),
+                          !result.ok());
+    }
     ++out.stats.statements_executed;
     ++out.stats.queries_checked;
     if (result.status == StatementStatus::kUnsupported) {
@@ -636,7 +753,15 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
       record(std::move(finding));
       break;
     }
-    if (options.gen.rectify && !ResultContainsRow(result, pivot)) {
+    bool contains = true;
+    if (options.gen.rectify) {
+      obs::ScopedPhase span(obs::Phase::kOracleCheck);
+      contains = ResultContainsRow(result, pivot);
+      obs::Emit(obs::EventKind::kOracleCheck,
+                static_cast<uint32_t>(OracleKind::kContainment),
+                contains ? 0u : 1u);
+    }
+    if (options.gen.rectify && !contains) {
       Finding finding;
       finding.oracle = OracleKind::kContainment;
       finding.statements = CloneSession(plan, mutation_log, &query);
@@ -656,6 +781,25 @@ DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
   return out;
 }
 
+// Telemetry wrapper around the Algorithm 1+3 body: installs a fresh
+// per-session telemetry context (registry + flight ring) for the duration
+// of the session and harvests the registry into the result. When the kill
+// switch is off, installation leaves the thread-local slot null and every
+// emit in the body is a single predictable branch.
+DbRunResult RunOneDatabase(const WorkerEngineFactory& factory, int worker,
+                           const RunnerOptions& options, uint64_t db_seed) {
+  obs::SessionTelemetry session;
+  DbRunResult out;
+  {
+    obs::ScopedSessionTelemetry install(&session);
+    out = RunOneDatabaseImpl(factory, worker, options, db_seed);
+  }
+  session.metrics.GaugeMax(obs::Gauge::kMaxFlightEvents,
+                           session.recorder.total_emitted());
+  out.metrics = session.metrics;
+  return out;
+}
+
 // Folds one database's result into the report, in plan order. Returns
 // false when the run terminates at this database: a null factory ends the
 // run before it (sequential `break`), an unsupported engine ends it after
@@ -666,6 +810,7 @@ bool MergeDbResult(DbRunResult&& r, bool stop_on_first_finding,
                    RunReport* report) {
   if (r.factory_failed) return false;
   report->stats.Merge(r.stats);
+  report->metrics.Merge(r.metrics);
   bool had_finding = !r.findings.empty();
   for (Finding& f : r.findings) report->findings.push_back(std::move(f));
   if (r.unsupported_engine) {

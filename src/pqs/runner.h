@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/engine/connection.h"
+#include "src/obs/metrics.h"
 #include "src/pqs/generator.h"
 #include "src/pqs/oracles.h"
 
@@ -100,6 +101,11 @@ struct RunStats {
 
 struct RunReport {
   RunStats stats;
+  // Telemetry registry merged from every session in plan order: counters,
+  // gauges, and per-phase logical-tick histograms (src/obs). All-zero when
+  // the telemetry kill switch is off. Like `stats`, byte-identical for
+  // every worker count.
+  obs::MetricsRegistry metrics;
   std::vector<Finding> findings;
   // True when the engine answered kUnsupported (e.g. stub SQLite adapter);
   // the run ends early and reports whatever it had.

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/telemetry.h"
+
 namespace pqs {
 
 ActionScheduler::ActionScheduler(const Generator* generator,
@@ -51,6 +53,8 @@ std::vector<std::string> ActionScheduler::IndexedColumns(
 }
 
 std::vector<StmtPtr> ActionScheduler::NextBatch(Rng* rng) {
+  // Drawing the batch is pure generation; covers every caller.
+  obs::ScopedPhase span(obs::Phase::kGenerate);
   std::vector<StmtPtr> batch;
   const GeneratorOptions& o = options_;
   double mutation_total = o.insert_weight + o.update_weight +

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/telemetry.h"
 #include "src/sqlparser/render.h"
 
 #ifndef PQS_HAVE_SQLITE3
@@ -32,6 +33,11 @@ SqliteConnection::~SqliteConnection() {
 }
 
 void SqliteConnection::ClearStatementCache() {
+  if (!cache_.empty()) {
+    obs::Count(obs::Counter::kCacheInvalidations);
+    obs::Emit(obs::EventKind::kCacheInvalidation,
+              static_cast<uint32_t>(cache_.size()));
+  }
   for (CachedStmt& entry : cache_) {
     if (entry.stmt != nullptr) sqlite3_finalize(entry.stmt);
   }
@@ -77,11 +83,16 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
               static_cast<const SelectStmt&>(stmt).meta_rewrite;
   sql_buf_.clear();
   param_buf_.clear();
-  if (cacheable) {
-    RenderSelectTemplate(static_cast<const SelectStmt&>(stmt),
-                         Dialect::kSqliteFlex, &sql_buf_, &param_buf_);
-  } else {
-    RenderStmtTo(stmt, Dialect::kSqliteFlex, &sql_buf_);
+  {
+    // Rendering AST → SQL text happens only on this adapter (MiniDB
+    // executes the AST directly), so the kRender phase profiles it here.
+    obs::ScopedPhase span(obs::Phase::kRender);
+    if (cacheable) {
+      RenderSelectTemplate(static_cast<const SelectStmt&>(stmt),
+                           Dialect::kSqliteFlex, &sql_buf_, &param_buf_);
+    } else {
+      RenderStmtTo(stmt, Dialect::kSqliteFlex, &sql_buf_);
+    }
   }
 
   // Prepare-once / reset-and-rerun (MRU-ordered; hits move to the front).
@@ -99,6 +110,7 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
       }
       in_cache = true;
       ++cache_hits_;
+      obs::Count(obs::Counter::kStmtCacheHits);
       if (meta) ++meta_cache_hits_;
       break;
     }
@@ -114,6 +126,7 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
     }
     if (cacheable) {
       ++cache_misses_;
+      obs::Count(obs::Counter::kStmtCacheMisses);
       if (meta) ++meta_cache_misses_;
       cache_.insert(cache_.begin(), CachedStmt{sql_buf_, prepared});
       // 32 slots: the pivot-probe SELECTs plus the NoREC/TLP rewrite

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "src/interp/eval.h"
+#include "src/obs/telemetry.h"
+#include "src/sqlast/ast.h"
 #include "src/sqlvalue/value.h"
 
 namespace pqs {
@@ -31,7 +33,12 @@ MetaVerdict ClassifyStatus(StatementStatus s) {
 bool Run(Connection& conn, const SelectStmt& q, MetaOutcome* outcome,
          StatementResult* result) {
   outcome->executed.push_back(q.Clone());
-  *result = conn.Execute(q);
+  {
+    obs::ScopedPhase span(obs::Phase::kEngineExecute);
+    *result = conn.Execute(q);
+    obs::CountStatement(static_cast<uint32_t>(StmtKind::kSelect),
+                        !result->ok());
+  }
   if (result->ok()) return true;
   outcome->verdict = ClassifyStatus(result->status);
   outcome->message = result->error;

@@ -18,6 +18,7 @@
 
 #include "src/common/rng.h"
 #include "src/minidb/buffer_pool.h"
+#include "src/obs/telemetry.h"
 #include "src/minidb/coverage.h"
 #include "src/minidb/database.h"
 #include "src/pqs/campaign.h"
@@ -106,16 +107,31 @@ void TestPoolEmergencyGrowth() {
   CHECK_EQ(pool.frame_count(), static_cast<size_t>(4));
 }
 
+// The pool's eviction trace now arrives through the flight recorder
+// (src/obs): each eviction is a kEviction event carrying (table, page).
+// These tests install a session telemetry context and read the events
+// back, replacing the old bespoke set_trace()/eviction_log() API.
+std::vector<std::pair<uint32_t, uint32_t>> EvictionsFrom(
+    const obs::FlightRecorder& recorder) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (const obs::FlightEvent& e : recorder.Dump()) {
+    if (e.kind == obs::EventKind::kEviction) out.emplace_back(e.a, e.b);
+  }
+  return out;
+}
+
 std::vector<std::pair<uint32_t, uint32_t>> DriveEvictions(uint64_t seed) {
+  // A ring large enough that no eviction of this drive is overwritten.
+  obs::SessionTelemetry session(4096);
+  obs::ScopedSessionTelemetry install(&session);
   BufferPool pool(4, seed, nullptr);
-  pool.set_trace(true);
   std::vector<DiskPage> disk = MakeDisk(16);
   for (int i = 0; i < 200; ++i) {
     uint32_t p = static_cast<uint32_t>((i * 7 + 3) % 16);
     int f = pool.Fetch(0, p, &disk[p], BufferPool::Intent::kRead);
     pool.Unpin(f);
   }
-  return pool.eviction_log();
+  return EvictionsFrom(session.recorder);
 }
 
 void TestEvictionOrderDeterministic() {
@@ -128,22 +144,24 @@ void TestEvictionOrderDeterministic() {
   CHECK(log == DriveEvictions(7));
 
   // Reset rewinds the clock hand to its seed-derived start: driving the
-  // same sequence after a Reset evicts the same pages in the same order.
+  // same sequence after a Reset evicts the same pages in the same order
+  // (each drive recorded under its own session ring).
   BufferPool pool(4, 7, nullptr);
-  pool.set_trace(true);
   std::vector<DiskPage> disk = MakeDisk(16);
   auto drive = [&]() {
+    obs::SessionTelemetry session(4096);
+    obs::ScopedSessionTelemetry install(&session);
     for (int i = 0; i < 200; ++i) {
       uint32_t p = static_cast<uint32_t>((i * 7 + 3) % 16);
       int f = pool.Fetch(0, p, &disk[p], BufferPool::Intent::kRead);
       pool.Unpin(f);
     }
+    return EvictionsFrom(session.recorder);
   };
-  drive();
-  std::vector<std::pair<uint32_t, uint32_t>> first = pool.eviction_log();
+  std::vector<std::pair<uint32_t, uint32_t>> first = drive();
+  CHECK(!first.empty());
   pool.Reset();
-  drive();
-  CHECK(first == pool.eviction_log());
+  CHECK(first == drive());
 }
 
 // ---------------------------------------------------------------------------
