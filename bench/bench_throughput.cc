@@ -473,6 +473,87 @@ std::string MeasureTelemetryOverhead() {
   return buf;
 }
 
+// Transaction-mix sweep (DESIGN §14): the interleaved K-session MVCC
+// branch on a clean engine, K ∈ {2, 3, 4}. Every statement here pays for
+// version-chain bookkeeping, the mirror replay, and the serial-replay
+// oracle, so this rate tracks the transaction branch's end-to-end cost the
+// way the worker sweep tracks the autocommit loop's. The commit/conflict
+// tallies land in the JSON so check_perf_smoke.py can assert the workload
+// actually transacted.
+std::string MeasureTxnWorkload() {
+  struct TxnPoint {
+    int sessions = 0;
+    double seconds = 0;
+    uint64_t statements = 0;
+    RunStats stats;
+  };
+  std::vector<TxnPoint> points;
+  for (int sessions : {2, 3, 4}) {
+    RunnerOptions opts;
+    opts.seed = 20200604 + static_cast<uint64_t>(sessions);
+    opts.databases = 96;
+    opts.queries_per_database = 10;
+    opts.gen.txn_sessions = sessions;
+    EngineFactory factory = []() -> ConnectionPtr {
+      return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+    };
+    TxnPoint point;
+    point.sessions = sessions;
+    point.seconds = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      PqsRunner runner(factory, opts);
+      auto start = std::chrono::steady_clock::now();
+      RunReport report = runner.Run();
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() < point.seconds) {
+        point.seconds = elapsed.count();
+        point.statements = report.stats.statements_executed;
+        point.stats = report.stats;
+      }
+    }
+    points.push_back(point);
+  }
+
+  bench::PrintHeader("Transaction mix: K interleaved MVCC sessions");
+  printf("%10s %10s %14s %10s %10s %10s %10s\n", "sessions", "seconds",
+         "stmts/sec", "begins", "commits", "rollbacks", "conflicts");
+  for (const TxnPoint& p : points) {
+    printf("%10d %10.4f %14.0f %10llu %10llu %10llu %10llu\n", p.sessions,
+           p.seconds,
+           p.seconds > 0 ? static_cast<double>(p.statements) / p.seconds
+                         : 0.0,
+           static_cast<unsigned long long>(p.stats.txn_begins),
+           static_cast<unsigned long long>(p.stats.txn_commits),
+           static_cast<unsigned long long>(p.stats.txn_rollbacks),
+           static_cast<unsigned long long>(p.stats.txn_conflicts));
+  }
+
+  std::string json = "  \"txn_workload\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const TxnPoint& p = points[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"sessions\": %d, \"seconds\": %.6f, "
+        "\"statements_per_second\": %.1f, \"begins\": %llu, "
+        "\"commits\": %llu, \"rollbacks\": %llu, \"conflicts\": %llu, "
+        "\"snapshot_checks\": %llu, \"serial_replays\": %llu}%s\n",
+        p.sessions, p.seconds,
+        p.seconds > 0 ? static_cast<double>(p.statements) / p.seconds : 0.0,
+        static_cast<unsigned long long>(p.stats.txn_begins),
+        static_cast<unsigned long long>(p.stats.txn_commits),
+        static_cast<unsigned long long>(p.stats.txn_rollbacks),
+        static_cast<unsigned long long>(p.stats.txn_conflicts),
+        static_cast<unsigned long long>(p.stats.txn_snapshot_checks),
+        static_cast<unsigned long long>(p.stats.txn_serial_replays),
+        i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  return json;
+}
+
 void RunWorkerSweep(int max_workers, const std::string& extra_json) {
   std::vector<int> counts;
   for (int w = 1; w < max_workers; w *= 2) counts.push_back(w);
@@ -596,6 +677,7 @@ int main(int argc, char** argv) {
   pqs::RunWorkerSweep(max_workers, pqs::MeasureScanRows() +
                                        pqs::MeasureSqliteStmtCache() +
                                        pqs::MeasureZipfWorkload() +
+                                       pqs::MeasureTxnWorkload() +
                                        pqs::MeasurePhaseProfile() +
                                        pqs::MeasureTelemetryOverhead());
   benchmark::Initialize(&argc, argv);

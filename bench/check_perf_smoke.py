@@ -74,6 +74,21 @@ def main(argv):
             fail("%s: %.0f rows/sec is below %.0f (70%% of the checked-in "
                  "floor %.0f)" % (where, rps, scan_minimum, scan_floor))
 
+    txn = bench.get("txn_workload")
+    if not isinstance(txn, list) or not txn:
+        fail("txn_workload missing or empty")
+    sessions = sorted(p.get("sessions", 0) for p in txn)
+    if sessions != [2, 3, 4]:
+        fail("txn_workload sessions are %s, expected K in {2, 3, 4}" % sessions)
+    for point in txn:
+        where = "txn_workload[sessions=%s]" % point.get("sessions")
+        if point.get("commits", 0) <= 0:
+            fail("%s committed no transactions" % where)
+        if point.get("serial_replays", 0) <= 0:
+            fail("%s ran no serial-replay comparisons" % where)
+        if point.get("statements_per_second", 0.0) <= 0:
+            fail("%s reports no throughput" % where)
+
     telemetry = bench.get("telemetry")
     if not isinstance(telemetry, dict):
         fail("telemetry section missing")

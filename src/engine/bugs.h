@@ -111,10 +111,36 @@ enum class BugId : uint32_t {
                            // assumed unchanged), leaving entries that point
                            // at shifted or vanished heap rows
 
+  // --- MVCC transaction layer (snapshot isolation over K interleaved
+  // --- sessions). Only the concurrent workload (txn_sessions > 1) can
+  // --- reach these paths; HuntBug arms that workload automatically. -----
+  kTxnLostUpdate,          // COMMIT skips the first-committer-wins check
+                           // for update-only write sets: a stale-snapshot
+                           // UPDATE silently clobbers a committed one
+  kTxnDirtyRead,           // in-transaction SELECTs also see rows inserted
+                           // by other transactions that are still open
+  kTxnWriteSkew,           // conflict detection degraded to row granularity
+                           // under claimed SI: concurrent inserts to a
+                           // table this txn ranged over never conflict
+  kTxnRollbackStaleIndex,  // ROLLBACK rebuilds indexes from the discarded
+                           // write set and the next quiescent rebuild is
+                           // skipped, leaving uncommitted keys behind
+  kTxnSnapshotUncommittedRead, // snapshot reads resolve a row's newest
+                           // version even when its writer has not
+                           // committed (sees uncommitted UPDATE values)
+
   kNumBugs,
 };
 
 inline constexpr uint32_t kNumBugIds = static_cast<uint32_t>(BugId::kNumBugs);
+
+// True for the MVCC transaction-layer bug classes — the ones a single
+// serial session can never trigger. Campaign code uses this to arm the
+// K-session interleaved workload when hunting them.
+inline constexpr bool IsTxnBug(BugId id) {
+  return id >= BugId::kTxnLostUpdate &&
+         id <= BugId::kTxnSnapshotUncommittedRead;
+}
 
 class BugConfig {
  public:

@@ -36,6 +36,11 @@ enum class StatementStatus {
   // The engine rejected or failed a statement the generator guarantees to
   // be valid — the error oracle's signal.
   kError,
+  // COMMIT refused under first-committer-wins: another transaction
+  // committed to a table this one wrote after its snapshot was taken. An
+  // *expected* outcome of the concurrent workload (like kConstraintViolation
+  // for random inserts); the transaction is rolled back, no oracle fires.
+  kTxnConflict,
   // Simulated (MiniDB) or real (adapter) process death. The connection is
   // unusable afterwards.
   kCrash,

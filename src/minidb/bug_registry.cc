@@ -162,6 +162,23 @@ const std::vector<BugInfo>& BuildRegistry() {
       {BugId::kIndexHeapDesync, "index-heap-desync",
        Dialect::kPostgresStrict, OracleKind::kContainment,
        ReportOutcome::kFixed},
+
+      // MVCC transaction layer: 2 SQLite, 2 MySQL, 1 PostgreSQL. The
+      // anomaly classes (lost update, dirty read, write skew, uncommitted
+      // snapshot read) diverge from the serial replay of the committed
+      // transactions — the txn-serial oracle; the rollback bug corrupts
+      // indexes only, so in-snapshot pivot probes (containment) find it.
+      {BugId::kTxnLostUpdate, "txn-lost-update", Dialect::kSqliteFlex,
+       OracleKind::kTxnSerial, ReportOutcome::kFixed},
+      {BugId::kTxnRollbackStaleIndex, "txn-rollback-stale-index",
+       Dialect::kSqliteFlex, OracleKind::kContainment,
+       ReportOutcome::kFixed},
+      {BugId::kTxnDirtyRead, "txn-dirty-read", Dialect::kMysqlLike,
+       OracleKind::kTxnSerial, ReportOutcome::kVerified},
+      {BugId::kTxnSnapshotUncommittedRead, "txn-snapshot-uncommitted-read",
+       Dialect::kMysqlLike, OracleKind::kTxnSerial, ReportOutcome::kFixed},
+      {BugId::kTxnWriteSkew, "txn-write-skew", Dialect::kPostgresStrict,
+       OracleKind::kTxnSerial, ReportOutcome::kVerified},
   };
   return registry;
 }

@@ -69,6 +69,11 @@ const char* FeatureName(Feature f) {
     case Feature::kSelectHaving: return "select-having";
     case Feature::kAggregateDistinct: return "aggregate-distinct";
     case Feature::kAggregateEmptyInput: return "aggregate-empty-input";
+    case Feature::kTxnBegin: return "txn-begin";
+    case Feature::kTxnCommit: return "txn-commit";
+    case Feature::kTxnRollback: return "txn-rollback";
+    case Feature::kTxnConflict: return "txn-conflict";
+    case Feature::kTxnSnapshotRead: return "txn-snapshot-read";
     case Feature::kFeatureCount: break;
   }
   return "?";

@@ -84,6 +84,12 @@ enum class Feature : size_t {
   kSelectHaving,
   kAggregateDistinct,     // COUNT(DISTINCT e) and friends
   kAggregateEmptyInput,   // global aggregate over zero input rows
+  // MVCC transaction layer.
+  kTxnBegin,
+  kTxnCommit,
+  kTxnRollback,
+  kTxnConflict,           // COMMIT refused (first-committer-wins)
+  kTxnSnapshotRead,       // SELECT answered from an in-transaction snapshot
 
   kFeatureCount,
 };

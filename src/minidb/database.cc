@@ -188,6 +188,14 @@ bool Database::Reset() {
   pool_.Reset();
   tables_.clear();
   indexes_.clear();
+  // An aborted session may leave open transactions behind; a reset rolls
+  // them back implicitly with everything else.
+  txns_.clear();
+  active_session_ = 0;
+  commit_clock_ = 0;
+  in_epoch_ = false;
+  last_write_ts_.clear();
+  rollback_corrupted_.clear();
   alive_ = true;
   return true;
 }
@@ -215,19 +223,40 @@ StatementResult Database::Execute(const Stmt& stmt) {
       result = ExecuteDropIndex(static_cast<const DropIndexStmt&>(stmt));
       break;
     case StmtKind::kInsert:
-      result = ExecuteInsert(static_cast<const InsertStmt&>(stmt));
+      // During the MVCC epoch all DML is diverted through the versioned
+      // write path; outside it the classic single-user path is untouched.
+      result = in_epoch_
+                   ? ExecuteTxnInsert(static_cast<const InsertStmt&>(stmt))
+                   : ExecuteInsert(static_cast<const InsertStmt&>(stmt));
       break;
     case StmtKind::kSelect:
       result = ExecuteSelect(static_cast<const SelectStmt&>(stmt));
       break;
     case StmtKind::kUpdate:
-      result = ExecuteUpdate(static_cast<const UpdateStmt&>(stmt));
+      result = in_epoch_
+                   ? ExecuteTxnUpdate(static_cast<const UpdateStmt&>(stmt))
+                   : ExecuteUpdate(static_cast<const UpdateStmt&>(stmt));
       break;
     case StmtKind::kDelete:
-      result = ExecuteDelete(static_cast<const DeleteStmt&>(stmt));
+      result = in_epoch_
+                   ? ExecuteTxnDelete(static_cast<const DeleteStmt&>(stmt))
+                   : ExecuteDelete(static_cast<const DeleteStmt&>(stmt));
       break;
     case StmtKind::kMaintenance:
       result = ExecuteMaintenance(static_cast<const MaintenanceStmt&>(stmt));
+      break;
+    case StmtKind::kBegin:
+      result = ExecuteBegin();
+      break;
+    case StmtKind::kCommit:
+      result = ExecuteCommit();
+      break;
+    case StmtKind::kRollback:
+      result = ExecuteRollback();
+      break;
+    case StmtKind::kSetSession:
+      active_session_ = static_cast<const SetSessionStmt&>(stmt).session;
+      result = StatementResult::Ok();
       break;
   }
   if (result.status == StatementStatus::kError) Mark(Feature::kStatementError);
@@ -341,6 +370,7 @@ StatementResult Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   }
   indexes_.push_back(std::move(index));
   RebuildIndex(&indexes_.back(), *table);
+  if (in_epoch_) RefreshIndexVis(&indexes_.back(), *table);
   return StatementResult::Ok();
 }
 
@@ -925,6 +955,7 @@ StatementResult Database::ExecuteMaintenance(const MaintenanceStmt& stmt) {
       // first half of the entries.
       index.entries.resize((index.entries.size() + 1) / 2);
     }
+    if (in_epoch_) RefreshIndexVis(&index, *table);
   }
   return StatementResult::Ok();
 }
@@ -1035,7 +1066,7 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   // rows; the general path below produces exactly the same rows via
   // JoinRows + star projection. Marks stay identical: this shape only ever
   // marks kSelect.
-  if (!bugs_.any() && from.size() == 1 && stmt.joins.empty() &&
+  if (!bugs_.any() && !in_epoch_ && from.size() == 1 && stmt.joins.empty() &&
       stmt.where == nullptr && !has_agg && stmt.select_list.empty() &&
       stmt.group_by.empty() && stmt.having == nullptr &&
       stmt.order_by.empty() && !stmt.distinct && stmt.limit < 0) {
@@ -1207,24 +1238,64 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
   // surface as missing rows.
   std::vector<size_t> index_positions;
   bool used_index = false;
+  // During the MVCC epoch the raw store is not the truth (it holds
+  // tombstoned rows and none of the open transactions' buffered writes), so
+  // every FROM table is read through its snapshot image instead. The image
+  // is where the read-path transaction bugs hook in.
+  const Transaction* cur_txn = in_epoch_ ? CurrentTxn() : nullptr;
+  std::vector<std::vector<std::vector<SqlValue>>> epoch_rows;
+  const std::vector<std::vector<SqlValue>>* direct_rows = nullptr;
+  if (in_epoch_) {
+    if (cur_txn != nullptr) Mark(Feature::kTxnSnapshotRead);
+    epoch_rows.reserve(from.size());
+    for (TableData* table : from) {
+      std::vector<ImageRow> image =
+          BuildReadImage(table, cur_txn, /*for_select=*/true);
+      std::vector<std::vector<SqlValue>> data;
+      data.reserve(image.size());
+      for (ImageRow& ir : image) data.push_back(std::move(ir.data));
+      epoch_rows.push_back(std::move(data));
+    }
+  }
   if (from.size() == 1 && stmt.joins.empty()) {
-    scan_store = &from[0]->store;
-    if (use_index_scan_ && stmt.where != nullptr) {
-      bool used_partial = false;
-      used_index = PlanIndexScan(*from[0], *stmt.where, ctx,
-                                 &index_positions, &used_partial);
-      if (used_index) {
-        Mark(Feature::kIndexScan);
-        if (used_partial) Mark(Feature::kPartialIndexScan);
+    if (in_epoch_) {
+      // In-transaction reads always scan the snapshot image. Autocommit
+      // reads (snapshot = latest committed state) may still go through the
+      // planner: index entries carry version visibility windows, and the
+      // current store row at a visible entry's position *is* the latest
+      // committed version.
+      if (cur_txn == nullptr && use_index_scan_ && stmt.where != nullptr) {
+        bool used_partial = false;
+        used_index = PlanIndexScan(*from[0], *stmt.where, ctx,
+                                   &index_positions, &used_partial);
+        if (used_index) {
+          scan_store = &from[0]->store;
+          Mark(Feature::kIndexScan);
+          if (used_partial) Mark(Feature::kPartialIndexScan);
+        }
+      }
+      if (!used_index) direct_rows = &epoch_rows[0];
+    } else {
+      scan_store = &from[0]->store;
+      if (use_index_scan_ && stmt.where != nullptr) {
+        bool used_partial = false;
+        used_index = PlanIndexScan(*from[0], *stmt.where, ctx,
+                                   &index_positions, &used_partial);
+        if (used_index) {
+          Mark(Feature::kIndexScan);
+          if (used_partial) Mark(Feature::kPartialIndexScan);
+        }
       }
     }
   } else {
     std::vector<JoinInput> inputs;
     inputs.reserve(from.size());
-    for (const TableData* table : from) {
+    for (size_t t = 0; t < from.size(); ++t) {
+      const TableData* table = from[t];
       JoinInput input;
       input.schema = table->schema;
-      input.rows = &table->store.Materialized();
+      input.rows =
+          in_epoch_ ? &epoch_rows[t] : &table->store.Materialized();
       inputs.push_back(std::move(input));
     }
     size_t null_padded = 0;
@@ -1419,6 +1490,8 @@ StatementResult Database::ExecuteSelect(const SelectStmt& stmt) {
         [&](size_t, const std::vector<SqlValue>* rows, size_t n) {
           return process_batch(rows, n);
         });
+  } else if (direct_rows != nullptr) {
+    process_batch(direct_rows->data(), direct_rows->size());
   } else if (used_index) {
     // Candidate positions are ascending (page-coherent), so the cursor
     // pins each page once; a position a storage bug invalidated resolves
@@ -1536,7 +1609,15 @@ bool Database::PlanIndexScan(const TableData& table, const Expr& where,
     if (probe != nullptr) probe_code = CompileExpr(*probe, key_schema, ctx.dialect);
     std::vector<size_t> candidates;
     bool eval_failed = false;
-    for (const auto& [key, pos] : index.entries) {
+    // Only autocommit statements reach the planner during the MVCC epoch,
+    // so the reading snapshot is the latest committed state.
+    const uint64_t snap = commit_clock_;
+    for (size_t ei = 0; ei < index.entries.size(); ++ei) {
+      const auto& [key, pos] = index.entries[ei];
+      if (in_epoch_ && ei < index.vis.size()) {
+        const IndexData::EntryVis& v = index.vis[ei];
+        if (!(v.begin_ts <= snap && snap < v.end_ts)) continue;
+      }
       if (probe != nullptr) {
         RowView view{&key_schema, &key};
         EvalResult evaluated = probe_code.Run(view, ctx);
@@ -1577,6 +1658,675 @@ bool Database::PlanIndexScan(const TableData& table, const Expr& where,
     return true;
   }
   return false;
+}
+
+// --- MVCC transaction layer (DESIGN §14). --------------------------------
+
+Database::Transaction* Database::CurrentTxn() {
+  auto it = txns_.find(active_session_);
+  if (it == txns_.end() || !it->second.open) return nullptr;
+  return &it->second;
+}
+
+void Database::EnterEpoch() {
+  if (in_epoch_) return;
+  in_epoch_ = true;
+  for (TableData& table : tables_) {
+    table.meta.clear();
+    table.store.ForEachBatch(
+        [&](size_t base, const std::vector<SqlValue>* rows, size_t n) {
+          (void)rows;
+          for (size_t r = 0; r < n; ++r) table.meta[base + r];
+          return true;
+        });
+  }
+  for (IndexData& index : indexes_) {
+    TableData* table = FindTable(index.table_name);
+    if (table != nullptr) RefreshIndexVis(&index, *table);
+  }
+}
+
+void Database::PruneIfQuiescent() {
+  if (txns_.empty()) PruneHistory();
+}
+
+void Database::PruneHistory() {
+  if (!in_epoch_) return;
+  // Materialize the latest committed version of every table back into a
+  // flat heap: tombstoned rows drop out, version chains are garbage. The
+  // relative order of surviving rows is preserved, which is what keeps the
+  // serial-replay model's row order identical to the engine's.
+  for (TableData& table : tables_) {
+    std::vector<std::vector<SqlValue>> kept;
+    kept.reserve(table.store.size());
+    table.store.ForEachBatch(
+        [&](size_t base, const std::vector<SqlValue>* rows, size_t n) {
+          for (size_t r = 0; r < n; ++r) {
+            auto mit = table.meta.find(base + r);
+            if (mit != table.meta.end() && mit->second.end_ts != kTsInf) {
+              continue;  // deleted
+            }
+            kept.push_back(rows[r]);
+          }
+          return true;
+        });
+    table.store.ReplaceAll(std::move(kept));
+    table.meta.clear();
+  }
+  in_epoch_ = false;  // commit_clock_ stays monotonic for the next epoch
+  for (IndexData& index : indexes_) {
+    index.vis.clear();
+    if (rollback_corrupted_.count(index.table_name) != 0) {
+      // kTxnRollbackStaleIndex: the aborted transaction's entries survive
+      // the prune unrepaired; probes through them now miss real rows.
+      continue;
+    }
+    TableData* table = FindTable(index.table_name);
+    if (table != nullptr) RebuildIndex(&index, *table);
+  }
+  rollback_corrupted_.clear();
+}
+
+void Database::RefreshIndexVis(IndexData* index, const TableData& table) {
+  index->vis.clear();
+  if (!in_epoch_) return;
+  index->vis.reserve(index->entries.size());
+  for (const auto& [key, pos] : index->entries) {
+    (void)key;
+    IndexData::EntryVis v;
+    auto mit = table.meta.find(pos);
+    if (mit != table.meta.end()) {
+      v.begin_ts = mit->second.begin_ts;
+      v.end_ts = mit->second.end_ts;
+    }
+    index->vis.push_back(v);
+  }
+}
+
+StatementResult Database::ExecuteBegin() {
+  if (CurrentTxn() != nullptr) {
+    return StatementResult::Failure(
+        StatementStatus::kError,
+        "cannot start a transaction within a transaction");
+  }
+  EnterEpoch();
+  Transaction txn;
+  txn.open = true;
+  txn.begin_ts = commit_clock_;
+  txns_[active_session_] = std::move(txn);
+  Mark(Feature::kTxnBegin);
+  return StatementResult::Ok();
+}
+
+bool Database::CommitConflicts(const Transaction& txn) const {
+  for (const auto& [tname, w] : txn.writes) {
+    if (w.Empty()) continue;
+    // kTxnLostUpdate: the conflict check "optimizes away" for update-only
+    // write sets, so a stale-snapshot UPDATE clobbers a concurrent commit.
+    if (bugs_.enabled(BugId::kTxnLostUpdate) && w.UpdatesOnly()) continue;
+    if (bugs_.enabled(BugId::kTxnWriteSkew)) {
+      // kTxnWriteSkew: conflict detection weakened from table to row
+      // granularity — only rows this transaction itself updated or deleted
+      // are checked, so a concurrent INSERT the snapshot never saw slips
+      // past (UPDATE matched-set phantoms under claimed SI).
+      for (const TableData& table : tables_) {
+        if (table.name != tname) continue;
+        auto touched = [&](size_t pos) {
+          auto mit = table.meta.find(pos);
+          if (mit == table.meta.end()) return true;
+          return mit->second.begin_ts > txn.begin_ts ||
+                 mit->second.end_ts != kTsInf;
+        };
+        for (const auto& [pos, row] : w.updated) {
+          (void)row;
+          if (touched(pos)) return true;
+        }
+        for (size_t pos : w.deleted) {
+          if (touched(pos)) return true;
+        }
+      }
+      continue;
+    }
+    // First-committer-wins at table granularity: sound because generated
+    // DML is single-table, so "no other commit wrote any table I wrote"
+    // implies my snapshot of every written table is still current.
+    auto lit = last_write_ts_.find(tname);
+    if (lit != last_write_ts_.end() && lit->second > txn.begin_ts) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Database::ApplyCommit(Transaction* txn) {
+  bool any = false;
+  for (const auto& [tname, w] : txn->writes) {
+    (void)tname;
+    if (!w.Empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;  // read-only commit: no new timestamp
+  const uint64_t c = ++commit_clock_;
+  for (auto& [tname, w] : txn->writes) {
+    if (w.Empty()) continue;
+    TableData* table = FindTable(tname);
+    if (table == nullptr) continue;
+    {
+      TableStore::Cursor cursor(table->store);
+      for (auto& [pos, row] : w.updated) {
+        RowMeta& m = table->meta[pos];
+        const std::vector<SqlValue>* current = cursor.TryRow(pos);
+        if (current != nullptr) {
+          RowVersion v;
+          v.begin_ts = m.begin_ts;
+          v.end_ts = c;
+          v.data = *current;
+          m.older.push_back(std::move(v));
+        }
+        table->store.Overwrite(pos, std::move(row));
+        m.begin_ts = c;
+      }
+    }
+    for (size_t pos : w.deleted) {
+      // Position-stable tombstone: the row stays in the heap (older
+      // snapshots still read it) until PruneHistory compacts.
+      table->meta[pos].end_ts = c;
+    }
+    for (size_t i = 0; i < w.inserted.size(); ++i) {
+      if (!w.inserted_alive[i]) continue;
+      size_t pos = table->store.Append(std::move(w.inserted[i]));
+      table->meta[pos].begin_ts = c;
+    }
+    last_write_ts_[tname] = c;
+    for (IndexData& index : indexes_) {
+      if (index.table_name != tname) continue;
+      RebuildIndex(&index, *table);
+      RefreshIndexVis(&index, *table);
+    }
+  }
+}
+
+StatementResult Database::ExecuteCommit() {
+  auto it = txns_.find(active_session_);
+  if (it == txns_.end() || !it->second.open) {
+    return StatementResult::Failure(
+        StatementStatus::kError, "cannot commit - no transaction is active");
+  }
+  Transaction txn = std::move(it->second);
+  txns_.erase(it);
+  if (CommitConflicts(txn)) {
+    Mark(Feature::kTxnConflict);
+    PruneIfQuiescent();
+    return StatementResult::Failure(
+        StatementStatus::kTxnConflict,
+        "could not serialize access due to concurrent update "
+        "(first-committer-wins)");
+  }
+  ApplyCommit(&txn);
+  Mark(Feature::kTxnCommit);
+  PruneIfQuiescent();
+  return StatementResult::Ok();
+}
+
+StatementResult Database::ExecuteRollback() {
+  auto it = txns_.find(active_session_);
+  if (it == txns_.end() || !it->second.open) {
+    return StatementResult::Failure(
+        StatementStatus::kError,
+        "cannot rollback - no transaction is active");
+  }
+  Transaction txn = std::move(it->second);
+  txns_.erase(it);
+  if (BugOn(BugId::kTxnRollbackStaleIndex)) {
+    for (const auto& [tname, w] : txn.writes) {
+      if (w.Empty()) continue;
+      TableData* table = FindTable(tname);
+      if (table != nullptr) CorruptIndexesFromAbort(table, txn);
+    }
+  }
+  Mark(Feature::kTxnRollback);
+  PruneIfQuiescent();
+  return StatementResult::Ok();
+}
+
+std::vector<Database::ImageRow> Database::BuildReadImage(TableData* table,
+                                                         const Transaction* txn,
+                                                         bool for_select) {
+  const uint64_t snap =
+      (txn != nullptr && txn->open) ? txn->begin_ts : commit_clock_;
+  const TxnWrites* own = nullptr;
+  if (txn != nullptr) {
+    auto wit = txn->writes.find(table->name);
+    if (wit != txn->writes.end()) own = &wit->second;
+  }
+  std::vector<ImageRow> image;
+  image.reserve(table->store.size());
+  auto push = [&](const std::vector<SqlValue>& data, size_t pos,
+                  int own_insert) {
+    ImageRow ir;
+    ir.data = data;
+    ir.pos = pos;
+    ir.own_insert = own_insert;
+    image.push_back(std::move(ir));
+  };
+  table->store.ForEachBatch(
+      [&](size_t base, const std::vector<SqlValue>* rows, size_t n) {
+        for (size_t r = 0; r < n; ++r) {
+          const size_t pos = base + r;
+          if (own != nullptr) {
+            if (own->deleted.count(pos) != 0) continue;
+            auto uit = own->updated.find(pos);
+            if (uit != own->updated.end()) {
+              push(uit->second, pos, -1);
+              continue;
+            }
+          }
+          // kTxnSnapshotUncommittedRead: the snapshot read resolves to the
+          // newest *pending* version when some other open transaction has
+          // updated this row — its write buffer leaks into our reads.
+          if (for_select && BugOn(BugId::kTxnSnapshotUncommittedRead)) {
+            bool substituted = false;
+            for (const auto& [sid, other] : txns_) {
+              (void)sid;
+              if (&other == txn || !other.open) continue;
+              auto owit = other.writes.find(table->name);
+              if (owit == other.writes.end()) continue;
+              auto ouit = owit->second.updated.find(pos);
+              if (ouit != owit->second.updated.end()) {
+                push(ouit->second, pos, -1);
+                substituted = true;
+                break;
+              }
+            }
+            if (substituted) continue;
+          }
+          auto mit = table->meta.find(pos);
+          if (mit == table->meta.end()) {
+            push(rows[r], pos, -1);  // predates the epoch: always visible
+            continue;
+          }
+          const RowMeta& m = mit->second;
+          if (m.begin_ts <= snap && snap < m.end_ts) {
+            push(rows[r], pos, -1);
+            continue;
+          }
+          // The current version is too new (or deleted): walk the
+          // superseded versions, oldest first, for the one covering snap.
+          for (const RowVersion& v : m.older) {
+            if (v.begin_ts <= snap && snap < v.end_ts) {
+              push(v.data, pos, -1);
+              break;
+            }
+          }
+        }
+        return true;
+      });
+  if (own != nullptr) {
+    for (size_t i = 0; i < own->inserted.size(); ++i) {
+      if (!own->inserted_alive[i]) continue;
+      push(own->inserted[i], 0, static_cast<int>(i));
+    }
+  }
+  // kTxnDirtyRead: SELECTs also see rows *inserted* by other transactions
+  // that have not committed (and may never commit). DML matched sets are
+  // exempt so the corruption stays read-only.
+  if (for_select && BugOn(BugId::kTxnDirtyRead)) {
+    for (const auto& [sid, other] : txns_) {
+      (void)sid;
+      if (&other == txn || !other.open) continue;
+      auto owit = other.writes.find(table->name);
+      if (owit == other.writes.end()) continue;
+      const TxnWrites& ow = owit->second;
+      for (size_t i = 0; i < ow.inserted.size(); ++i) {
+        if (!ow.inserted_alive[i]) continue;
+        push(ow.inserted[i], 0, -1);
+      }
+    }
+  }
+  return image;
+}
+
+StatementResult Database::CheckConstraintsImage(
+    const TableData& table, const std::vector<SqlValue>& candidate,
+    const std::vector<ImageRow>& image,
+    const std::vector<std::vector<SqlValue>>& pending, int exclude_row) {
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const ColumnDef& col = table.columns[c];
+    bool needs_value =
+        col.not_null ||
+        (col.primary_key && dialect_ != Dialect::kSqliteFlex);
+    if (needs_value && candidate[c].is_null()) {
+      Mark(Feature::kConstraintViolationRejected);
+      return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                      "NOT NULL constraint failed: " +
+                                          col.name);
+    }
+    bool must_be_distinct = col.unique || col.primary_key;
+    if (!must_be_distinct || candidate[c].is_null()) continue;
+    auto collides = [&](const std::vector<SqlValue>& other) {
+      return !other[c].is_null() && ValueEquals(other[c], candidate[c]);
+    };
+    for (size_t i = 0; i < image.size(); ++i) {
+      if (static_cast<int>(i) == exclude_row) continue;
+      if (collides(image[i].data)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "UNIQUE constraint failed: " +
+                                            col.name);
+      }
+    }
+    for (const auto& row : pending) {
+      if (collides(row)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "UNIQUE constraint failed: " +
+                                            col.name);
+      }
+    }
+  }
+
+  const RowSchema& schema = table.schema;
+  EvalContext ctx{dialect_, &bugs_};
+  for (const IndexData& index : indexes_) {
+    if (!index.unique || index.table_name != table.name) continue;
+    if (!RowCoveredByPartialCode(index.where.get(), index.where_code, schema,
+                                 ctx, candidate)) {
+      continue;
+    }
+    auto collides = [&](const std::vector<SqlValue>& other) {
+      return RowCoveredByPartialCode(index.where.get(), index.where_code,
+                                     schema, ctx, other) &&
+             KeyColumnsCollide(index.key_cols, other, candidate);
+    };
+    for (size_t i = 0; i < image.size(); ++i) {
+      if (static_cast<int>(i) == exclude_row) continue;
+      if (collides(image[i].data)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "unique index constraint failed: " +
+                                            index.name);
+      }
+    }
+    for (const auto& row : pending) {
+      if (collides(row)) {
+        Mark(Feature::kConstraintViolationRejected);
+        return StatementResult::Failure(StatementStatus::kConstraintViolation,
+                                        "unique index constraint failed: " +
+                                            index.name);
+      }
+    }
+  }
+  return StatementResult::Ok();
+}
+
+void Database::CorruptIndexesFromAbort(TableData* table,
+                                       const Transaction& txn) {
+  // Rebuild the table's indexes from the aborted transaction's overlay
+  // image — as if index maintenance had been done eagerly per-statement and
+  // ROLLBACK forgot to undo it. Own-insert rows get positions past the
+  // heap; discarded updates keep real positions under discarded keys.
+  std::vector<ImageRow> image =
+      BuildReadImage(table, &txn, /*for_select=*/false);
+  EvalContext ctx{dialect_, &bugs_};
+  for (IndexData& index : indexes_) {
+    if (index.table_name != table->name) continue;
+    index.entries.clear();
+    for (const ImageRow& ir : image) {
+      if (!RowCoveredByPartialCode(index.where.get(), index.where_code,
+                                   table->schema, ctx, ir.data)) {
+        continue;
+      }
+      std::pair<std::vector<SqlValue>, size_t> entry;
+      entry.first.reserve(index.key_cols.size());
+      for (int c : index.key_cols) {
+        entry.first.push_back(ir.data[static_cast<size_t>(c)]);
+      }
+      entry.second = ir.own_insert >= 0
+                         ? table->store.size() +
+                               static_cast<size_t>(ir.own_insert)
+                         : ir.pos;
+      index.entries.push_back(std::move(entry));
+    }
+    std::sort(index.entries.begin(), index.entries.end(), KeyEntryLess);
+    index.vis.assign(index.entries.size(), IndexData::EntryVis{});
+  }
+  rollback_corrupted_.insert(table->name);
+}
+
+StatementResult Database::ExecuteTxnInsert(const InsertStmt& stmt) {
+  if (Transaction* txn = CurrentTxn()) return TxnInsertInto(stmt, txn);
+  // Autocommit during the epoch: an implicit single-statement transaction
+  // at the latest snapshot, committed immediately. It can never conflict —
+  // no other commit can interleave within one statement.
+  Transaction local;
+  local.open = true;
+  local.begin_ts = commit_clock_;
+  StatementResult r = TxnInsertInto(stmt, &local);
+  if (r.ok()) ApplyCommit(&local);
+  return r;
+}
+
+StatementResult Database::ExecuteTxnUpdate(const UpdateStmt& stmt) {
+  if (Transaction* txn = CurrentTxn()) return TxnUpdateInto(stmt, txn);
+  Transaction local;
+  local.open = true;
+  local.begin_ts = commit_clock_;
+  StatementResult r = TxnUpdateInto(stmt, &local);
+  if (r.ok()) ApplyCommit(&local);
+  return r;
+}
+
+StatementResult Database::ExecuteTxnDelete(const DeleteStmt& stmt) {
+  if (Transaction* txn = CurrentTxn()) return TxnDeleteInto(stmt, txn);
+  Transaction local;
+  local.open = true;
+  local.begin_ts = commit_clock_;
+  StatementResult r = TxnDeleteInto(stmt, &local);
+  if (r.ok()) ApplyCommit(&local);
+  return r;
+}
+
+StatementResult Database::TxnInsertInto(const InsertStmt& stmt,
+                                        Transaction* txn) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  Mark(Feature::kInsert);
+  if (stmt.rows.size() > 1) Mark(Feature::kMultiRowInsert);
+
+  std::vector<ImageRow> image =
+      BuildReadImage(table, txn, /*for_select=*/false);
+  EvalContext ctx{dialect_, &bugs_};
+  RowView no_row;
+  std::vector<std::vector<SqlValue>> accepted;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != table->columns.size()) {
+      return StatementResult::Failure(
+          StatementStatus::kError,
+          "value count does not match column count");
+    }
+    std::vector<SqlValue> row;
+    row.reserve(row_exprs.size());
+    for (size_t c = 0; c < row_exprs.size(); ++c) {
+      if (row_exprs[c] == nullptr) {
+        return StatementResult::Failure(StatementStatus::kError,
+                                        "missing value expression");
+      }
+      const Expr& cell = *row_exprs[c];
+      EvalResult v = cell.kind == ExprKind::kLiteral
+                         ? EvalResult::Of(cell.literal)
+                         : Evaluate(cell, no_row, ctx);
+      if (v.error) {
+        return StatementResult::Failure(StatementStatus::kError, v.message);
+      }
+      StatementResult failure;
+      if (!CoerceForInsert(table->columns[c], &v.value, &failure)) {
+        return failure;
+      }
+      row.push_back(std::move(v.value));
+    }
+    StatementResult violation =
+        CheckConstraintsImage(*table, row, image, accepted, -1);
+    if (!violation.ok()) return violation;  // statement-level rollback
+    accepted.push_back(std::move(row));
+  }
+  // Nothing reached the write set until every row passed; apply now.
+  TxnWrites& w = txn->writes[table->name];
+  for (auto& row : accepted) {
+    w.inserted.push_back(std::move(row));
+    w.inserted_alive.push_back(1);
+  }
+  return StatementResult::Ok();
+}
+
+StatementResult Database::TxnUpdateInto(const UpdateStmt& stmt,
+                                        Transaction* txn) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  const RowSchema& schema = table->schema;
+  std::vector<std::pair<size_t, const Expr*>> targets;
+  for (const UpdateStmt::Assignment& a : stmt.assignments) {
+    int c = schema.IndexOf(table->name, a.column);
+    if (c < 0) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "no such column: " + a.column);
+    }
+    if (a.value == nullptr) {
+      return StatementResult::Failure(StatementStatus::kError,
+                                      "missing assignment expression");
+    }
+    targets.emplace_back(static_cast<size_t>(c), a.value.get());
+  }
+  if (targets.empty()) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "UPDATE without assignments");
+  }
+
+  Mark(Feature::kUpdate);
+  if (stmt.where == nullptr) Mark(Feature::kUpdateAllRows);
+  if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
+  for (const UpdateStmt::Assignment& a : stmt.assignments) {
+    if (a.value != nullptr) MarkExprFeatures(*a.value);
+  }
+
+  EvalContext ctx{dialect_, &bugs_};
+  std::vector<ImageRow> image =
+      BuildReadImage(table, txn, /*for_select=*/false);
+
+  // Pass 1: the matched set, decided on the pre-update snapshot image.
+  CompiledExpr where_code;
+  if (stmt.where != nullptr) {
+    where_code = CompileExpr(*stmt.where, schema, dialect_);
+  }
+  std::vector<size_t> matched;
+  for (size_t i = 0; i < image.size(); ++i) {
+    bool hit = true;
+    if (stmt.where != nullptr) {
+      RowView view{&schema, &image[i].data};
+      EvalResult v = where_code.Run(view, ctx);
+      if (v.error) {
+        return StatementResult::Failure(StatementStatus::kError,
+                                        "UPDATE WHERE evaluation failed");
+      }
+      hit = Truthiness(v.value, dialect_) == Bool3::kTrue;
+    }
+    if (hit) matched.push_back(i);
+  }
+  if (matched.empty()) return StatementResult::Ok();
+
+  // Pass 2: apply in image order with immediate per-row constraint checks
+  // (the SQLite visit-and-check model). Everything is buffered locally —
+  // the write set is only touched once all matched rows pass, which is the
+  // statement-level rollback.
+  std::vector<CompiledExpr> target_code;
+  target_code.reserve(targets.size());
+  for (const auto& [c, value_expr] : targets) {
+    (void)c;
+    target_code.push_back(CompileExpr(*value_expr, schema, dialect_));
+  }
+  std::vector<std::pair<size_t, std::vector<SqlValue>>> changes;
+  changes.reserve(matched.size());
+  for (size_t i : matched) {
+    RowView view{&schema, &image[i].data};
+    std::vector<SqlValue> updated = image[i].data;
+    for (size_t t = 0; t < targets.size(); ++t) {
+      EvalResult v = target_code[t].Run(view, ctx);
+      if (v.error) {
+        return StatementResult::Failure(StatementStatus::kError, v.message);
+      }
+      StatementResult failure;
+      if (!CoerceForInsert(table->columns[targets[t].first], &v.value,
+                           &failure)) {
+        return failure;
+      }
+      updated[targets[t].first] = std::move(v.value);
+    }
+    StatementResult violation = CheckConstraintsImage(
+        *table, updated, image, {}, static_cast<int>(i));
+    if (!violation.ok()) return violation;
+    image[i].data = updated;  // later checks see this statement's writes
+    changes.emplace_back(i, std::move(updated));
+  }
+  TxnWrites& w = txn->writes[table->name];
+  for (auto& [i, row] : changes) {
+    if (image[i].own_insert >= 0) {
+      w.inserted[static_cast<size_t>(image[i].own_insert)] = std::move(row);
+    } else {
+      w.updated[image[i].pos] = std::move(row);
+    }
+  }
+  return StatementResult::Ok();
+}
+
+StatementResult Database::TxnDeleteInto(const DeleteStmt& stmt,
+                                        Transaction* txn) {
+  TableData* table = FindTable(stmt.table_name);
+  if (table == nullptr) {
+    return StatementResult::Failure(StatementStatus::kError,
+                                    "no such table: " + stmt.table_name);
+  }
+  Mark(Feature::kDelete);
+  if (stmt.where != nullptr) MarkExprFeatures(*stmt.where);
+
+  const RowSchema& schema = table->schema;
+  EvalContext ctx{dialect_, &bugs_};
+  std::vector<ImageRow> image =
+      BuildReadImage(table, txn, /*for_select=*/false);
+  CompiledExpr where_code;
+  if (stmt.where != nullptr) {
+    where_code = CompileExpr(*stmt.where, schema, dialect_);
+  }
+  std::vector<size_t> matched;
+  for (size_t i = 0; i < image.size(); ++i) {
+    bool hit = true;
+    if (stmt.where != nullptr) {
+      RowView view{&schema, &image[i].data};
+      EvalResult v = where_code.Run(view, ctx);
+      if (v.error) {
+        return StatementResult::Failure(StatementStatus::kError,
+                                        "DELETE WHERE evaluation failed");
+      }
+      hit = Truthiness(v.value, dialect_) == Bool3::kTrue;
+    }
+    if (hit) matched.push_back(i);
+  }
+  TxnWrites& w = txn->writes[table->name];
+  for (size_t i : matched) {
+    if (image[i].own_insert >= 0) {
+      w.inserted_alive[static_cast<size_t>(image[i].own_insert)] = 0;
+    } else {
+      w.updated.erase(image[i].pos);
+      w.deleted.insert(image[i].pos);
+    }
+  }
+  return StatementResult::Ok();
 }
 
 Database::TableData* Database::FindTable(const std::string& name) {

@@ -10,6 +10,9 @@
 #ifndef PQS_SRC_MINIDB_DATABASE_H_
 #define PQS_SRC_MINIDB_DATABASE_H_
 
+#include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,7 +83,70 @@ class Database : public Connection {
     return table != nullptr ? &table->store : nullptr;
   }
 
+  // MVCC introspection for the transaction tests. The engine is "in the
+  // epoch" from the first BEGIN until the next quiescent point (no open
+  // transaction), when version history is pruned back to a flat heap.
+  bool in_mvcc_epoch() const { return in_epoch_; }
+  uint64_t commit_clock() const { return commit_clock_; }
+  int active_session() const { return active_session_; }
+  size_t open_transactions() const { return txns_.size(); }
+
  private:
+  // --- MVCC transaction layer (DESIGN §14). ------------------------------
+  // Timestamps are commit-clock values: 0 = predates the epoch, kTsInf =
+  // still current. A row version is visible to snapshot S iff
+  // begin_ts <= S < end_ts.
+  static constexpr uint64_t kTsInf = ~uint64_t{0};
+  struct RowVersion {
+    uint64_t begin_ts = 0;
+    uint64_t end_ts = kTsInf;
+    std::vector<SqlValue> data;
+  };
+  // Per-position version metadata, active only during the epoch. The store
+  // row at the position is the newest committed version ([begin_ts,
+  // end_ts)); `older` holds superseded versions, oldest first. Deleted rows
+  // stay in the store as tombstones (end_ts set) until PruneHistory.
+  struct RowMeta {
+    uint64_t begin_ts = 0;
+    uint64_t end_ts = kTsInf;
+    std::vector<RowVersion> older;
+  };
+  // One transaction's buffered write set for one table. Nothing touches the
+  // store until COMMIT; statement-level rollback is free because failing
+  // statements never reach the buffer.
+  struct TxnWrites {
+    std::vector<std::vector<SqlValue>> inserted;
+    std::vector<char> inserted_alive;  // parallel; 0 = deleted again in-txn
+    std::map<size_t, std::vector<SqlValue>> updated;  // store pos → new row
+    std::set<size_t> deleted;                         // store positions
+
+    bool Empty() const {
+      if (!updated.empty() || !deleted.empty()) return false;
+      for (char a : inserted_alive) {
+        if (a) return false;
+      }
+      return true;
+    }
+    bool UpdatesOnly() const {
+      if (updated.empty() || !deleted.empty()) return false;
+      for (char a : inserted_alive) {
+        if (a) return false;
+      }
+      return true;
+    }
+  };
+  struct Transaction {
+    bool open = false;
+    uint64_t begin_ts = 0;  // snapshot: sees commits with ts <= begin_ts
+    std::map<std::string, TxnWrites> writes;
+  };
+  // One row of a transaction's read image, with provenance so the DML paths
+  // can route writes back to the store position or own-insert they hit.
+  struct ImageRow {
+    std::vector<SqlValue> data;
+    size_t pos = 0;       // store position (valid when own_insert < 0)
+    int own_insert = -1;  // index into the transaction's inserted list
+  };
   struct TableData {
     std::string name;
     int32_t name_sym = -1;  // interned `name` (equality-only)
@@ -95,6 +161,10 @@ class Database : public Connection {
     // engine) replace the old vector indexes everywhere — index entries,
     // UPDATE journals, constraint exclusions.
     TableStore store;
+    // Version metadata by store position, populated only during the MVCC
+    // epoch (EnterEpoch fills it, PruneHistory clears it). Outside the
+    // epoch the store alone is the truth and this map is empty.
+    std::map<size_t, RowMeta> meta;
   };
   struct IndexData {
     std::string name;
@@ -116,6 +186,15 @@ class Database : public Connection {
     // (scans bounds-guard every position through the page cursor).
     std::vector<int> key_cols;  // column positions within the table
     std::vector<std::pair<std::vector<SqlValue>, size_t>> entries;
+    // Per-entry version visibility, parallel to `entries` and populated only
+    // while the MVCC epoch is active: the planner filters out entries whose
+    // [begin_ts, end_ts) window does not cover the reading snapshot. Empty
+    // outside the epoch (every entry visible).
+    struct EntryVis {
+      uint64_t begin_ts = 0;
+      uint64_t end_ts = kTsInf;
+    };
+    std::vector<EntryVis> vis;
   };
 
   StatementResult ExecuteCreateTable(const CreateTableStmt& stmt);
@@ -126,6 +205,56 @@ class Database : public Connection {
   StatementResult ExecuteUpdate(const UpdateStmt& stmt);
   StatementResult ExecuteDelete(const DeleteStmt& stmt);
   StatementResult ExecuteMaintenance(const MaintenanceStmt& stmt);
+
+  // --- MVCC transaction execution (DESIGN §14). --------------------------
+  StatementResult ExecuteBegin();
+  StatementResult ExecuteCommit();
+  StatementResult ExecuteRollback();
+  // During the epoch all DML is diverted here: inside a transaction it
+  // buffers into the write set; outside one it runs as an implicit
+  // single-statement transaction committed immediately.
+  StatementResult ExecuteTxnInsert(const InsertStmt& stmt);
+  StatementResult ExecuteTxnUpdate(const UpdateStmt& stmt);
+  StatementResult ExecuteTxnDelete(const DeleteStmt& stmt);
+  StatementResult TxnInsertInto(const InsertStmt& stmt, Transaction* txn);
+  StatementResult TxnUpdateInto(const UpdateStmt& stmt, Transaction* txn);
+  StatementResult TxnDeleteInto(const DeleteStmt& stmt, Transaction* txn);
+  // Returns the active session's open transaction, or nullptr.
+  Transaction* CurrentTxn();
+  // Starts version bookkeeping on first BEGIN: every existing row gets meta
+  // {0, kTsInf} and index entries get visibility windows.
+  void EnterEpoch();
+  // When the last transaction closes: materializes the latest committed
+  // version of every table back into a flat heap, drops version history and
+  // tombstones, rebuilds indexes, and leaves the epoch. The commit clock
+  // stays monotonic so later epochs never reuse timestamps.
+  void PruneHistory();
+  void PruneIfQuiescent();
+  // First-committer-wins check + version-chain apply at a fresh commit
+  // timestamp. Returns false on write conflict (nothing applied).
+  bool CommitConflicts(const Transaction& txn) const;
+  void ApplyCommit(Transaction* txn);
+  // The rows `txn` (nullable = autocommit reader) sees in `table`:
+  // snapshot-visible committed versions overlaid with the transaction's own
+  // writes. `for_select` enables the read-path bug hooks (dirty read /
+  // uncommitted-version read), which must not leak into DML matched sets.
+  std::vector<ImageRow> BuildReadImage(TableData* table,
+                                       const Transaction* txn,
+                                       bool for_select);
+  // CheckConstraints against a read image instead of the store: collision
+  // scans run over `image` rows (skipping `exclude_row`, an index into
+  // `image`) plus the statement's own `pending` rows.
+  StatementResult CheckConstraintsImage(
+      const TableData& table, const std::vector<SqlValue>& candidate,
+      const std::vector<ImageRow>& image,
+      const std::vector<std::vector<SqlValue>>& pending, int exclude_row);
+  // Rebuilds `index->vis` from the owning table's row meta (clears it
+  // outside the epoch).
+  void RefreshIndexVis(IndexData* index, const TableData& table);
+  // kTxnRollbackStaleIndex: rebuilds the aborted transaction's written
+  // indexes from its discarded overlay image, as if ROLLBACK forgot to undo
+  // index maintenance; PruneHistory then skips repairing them.
+  void CorruptIndexesFromAbort(TableData* table, const Transaction& txn);
 
   TableData* FindTable(const std::string& name);
   IndexData* FindIndex(const std::string& name);
@@ -183,6 +312,22 @@ class Database : public Connection {
   uint32_t next_table_id_ = 0;
   std::vector<TableData> tables_;
   std::vector<IndexData> indexes_;
+
+  // --- MVCC transaction state. ------------------------------------------
+  // Open transactions by logical session id; entries are erased at
+  // COMMIT/ROLLBACK, so `txns_.empty()` means quiescent.
+  std::map<int, Transaction> txns_;
+  int active_session_ = 0;  // switched by SetSessionStmt
+  // Commit timestamps, monotonic across epochs (PruneHistory never rewinds
+  // it). Snapshot of a new transaction = current value.
+  uint64_t commit_clock_ = 0;
+  bool in_epoch_ = false;
+  // Last commit timestamp that wrote each table — the whole first-committer
+  // -wins check, sound because generated DML is single-table.
+  std::map<std::string, uint64_t> last_write_ts_;
+  // Tables whose indexes kTxnRollbackStaleIndex corrupted; PruneHistory
+  // skips rebuilding them once, leaving stale entries behind.
+  std::set<std::string> rollback_corrupted_;
 };
 
 // Scoped coverage collection: attaches a CoverageMap to a Database for the

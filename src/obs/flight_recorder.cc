@@ -23,6 +23,12 @@ const char* EventKindName(EventKind kind) {
       return "phase_begin";
     case EventKind::kPhaseEnd:
       return "phase_end";
+    case EventKind::kTxnBegin:
+      return "txn_begin";
+    case EventKind::kTxnCommit:
+      return "txn_commit";
+    case EventKind::kTxnAbort:
+      return "txn_abort";
   }
   return "?";
 }

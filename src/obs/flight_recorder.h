@@ -31,6 +31,9 @@ enum class EventKind : uint8_t {
   kFindingRecorded,      // a=oracle ordinal
   kPhaseBegin,           // a=Phase ordinal, b=nesting depth
   kPhaseEnd,             // a=Phase ordinal, b=tick delta since begin
+  kTxnBegin,             // a=session, b=snapshot timestamp
+  kTxnCommit,            // a=session, b=commit timestamp
+  kTxnAbort,             // a=session, b=1 conflict / 0 explicit ROLLBACK
 };
 
 const char* EventKindName(EventKind kind);

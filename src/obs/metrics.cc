@@ -41,6 +41,14 @@ const char* CounterName(Counter c) {
       return "sched_maintenance";
     case Counter::kFindingsRecorded:
       return "findings_recorded";
+    case Counter::kTxnBegins:
+      return "txn_begins";
+    case Counter::kTxnCommits:
+      return "txn_commits";
+    case Counter::kTxnRollbacks:
+      return "txn_rollbacks";
+    case Counter::kTxnConflicts:
+      return "txn_conflicts";
     case Counter::kCount_:
       break;
   }

@@ -39,6 +39,10 @@ enum class Counter : uint8_t {
   kSchedDropIndex,
   kSchedMaintenance,
   kFindingsRecorded,
+  kTxnBegins,          // transaction workload (K interleaved sessions)
+  kTxnCommits,
+  kTxnRollbacks,
+  kTxnConflicts,       // COMMIT refused (first-committer-wins)
   kCount_,  // sentinel
 };
 

@@ -96,6 +96,11 @@ BugHuntResult HuntBug(BugId bug, const CampaignOptions& options) {
                               ? FamilyForOracle(info.oracle)
                               : options.family;
   runner_options.gen = options.gen;
+  // Transaction bugs only surface under the interleaved-session branch;
+  // arm it unless the caller already chose a session count.
+  if (IsTxnBug(bug) && runner_options.gen.txn_sessions <= 1) {
+    runner_options.gen.txn_sessions = 3;
+  }
 
   PqsRunner runner(buggy, runner_options);
   RunReport report = runner.Run();

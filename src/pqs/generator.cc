@@ -116,6 +116,25 @@ std::string GeneratorOptions::Validate() const {
   if (!err.empty()) return err;
   err = check_prob("partial_probe_probability", partial_probe_probability);
   if (!err.empty()) return err;
+  if (txn_sessions < 1 || txn_sessions > 8) {
+    return "txn_sessions must be within [1, 8]";
+  }
+  const std::pair<const char*, double> txn_probs[] = {
+      {"txn_begin_probability", txn_begin_probability},
+      {"txn_commit_probability", txn_commit_probability},
+      {"txn_rollback_probability", txn_rollback_probability},
+  };
+  for (const auto& [name, p] : txn_probs) {
+    err = check_prob(name, p);
+    if (!err.empty()) return err;
+  }
+  if (txn_commit_probability + txn_rollback_probability > 1.0) {
+    return "txn_commit_probability + txn_rollback_probability must not "
+           "exceed 1";
+  }
+  if (max_txn_statements < 1) {
+    return "max_txn_statements must be positive";
+  }
   return "";
 }
 

@@ -104,6 +104,24 @@ struct GeneratorOptions {
   // partial-index scan planner (and its bug classes) reachable.
   double partial_probe_probability = 0.3;
 
+  // --- Interleaved transaction sessions (MVCC campaigns — DESIGN §14). --
+  // Number of logical sessions the scheduler interleaves. 1 (the default)
+  // keeps the classic autocommit stream; above 1 the runner switches to
+  // the transaction branch: BEGIN/COMMIT/ROLLBACK streams over K sessions
+  // with snapshot-isolation checks and the serial-replay oracle.
+  int txn_sessions = 1;
+  // Probability an idle session opens a transaction rather than issuing
+  // one autocommit DML statement.
+  double txn_begin_probability = 0.6;
+  // Per-step probability an open transaction COMMITs...
+  double txn_commit_probability = 0.35;
+  // ...or ROLLBACKs (else it issues another DML statement inside the
+  // transaction).
+  double txn_rollback_probability = 0.08;
+  // Forced-COMMIT cap on statements inside one transaction, so every
+  // transaction resolves within a bounded number of scheduler steps.
+  int max_txn_statements = 6;
+
   // Validates ranges: depths/counts non-negative, row bounds ordered, and
   // every probability within [0, 1]. Returns an empty string when valid,
   // else a description of the first offending field. RunnerOptions /

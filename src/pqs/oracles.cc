@@ -16,6 +16,8 @@ const char* OracleName(OracleKind kind) {
       return "norec";
     case OracleKind::kTlp:
       return "tlp";
+    case OracleKind::kTxnSerial:
+      return "txn-serial";
   }
   return "?";
 }
@@ -108,6 +110,7 @@ void AggregateStats::Add(const TestCaseStats& tc) {
   with_aggregate += tc.has_aggregate ? 1 : 0;
   with_group_by += tc.has_group_by ? 1 : 0;
   with_having += tc.has_having ? 1 : 0;
+  with_transaction += tc.has_transaction ? 1 : 0;
 }
 
 void AggregateStats::Merge(const AggregateStats& other) {
@@ -144,6 +147,7 @@ void AggregateStats::Merge(const AggregateStats& other) {
   with_aggregate += other.with_aggregate;
   with_group_by += other.with_group_by;
   with_having += other.with_having;
+  with_transaction += other.with_transaction;
 }
 
 double AggregateStats::AverageLoc() const {
@@ -210,6 +214,11 @@ TestCaseStats AnalyzeTestCase(const Finding& finding) {
         break;
       case StmtKind::kMaintenance:
         stats.has_maintenance = true;
+        break;
+      case StmtKind::kBegin:
+      case StmtKind::kCommit:
+      case StmtKind::kRollback:
+        stats.has_transaction = true;
         break;
       case StmtKind::kSelect: {
         const auto& sel = static_cast<const SelectStmt&>(*s);

@@ -23,7 +23,12 @@
 
 namespace pqs {
 
-enum class OracleKind { kContainment, kError, kCrash, kNorec, kTlp };
+// kTxnSerial: the committed state of the concurrent K-session workload
+// diverged from a serial replay of the committed transactions in commit
+// order — the MVCC anomaly oracle (sound under snapshot isolation with
+// table-granular first-committer-wins; DESIGN §14).
+enum class OracleKind { kContainment, kError, kCrash, kNorec, kTlp,
+                        kTxnSerial };
 
 const char* OracleName(OracleKind kind);
 
@@ -109,6 +114,8 @@ struct TestCaseStats {
   bool has_aggregate = false;
   bool has_group_by = false;
   bool has_having = false;
+  // Transaction bucket (PR 10): explicit BEGIN/COMMIT/ROLLBACK present.
+  bool has_transaction = false;
 };
 
 struct CategoryStat {
@@ -149,6 +156,8 @@ struct AggregateStats {
   size_t with_aggregate = 0;
   size_t with_group_by = 0;
   size_t with_having = 0;
+  // Transaction bucket.
+  size_t with_transaction = 0;
 
   void Add(const TestCaseStats& tc);
   // Value merge of per-shard aggregates: Merge(a, b) of disjoint shards

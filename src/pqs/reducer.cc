@@ -106,6 +106,13 @@ bool Reproduces(ProbeEngines& engines,
       return !pivot.empty() && !ResultContainsRow(buggy_result, pivot);
     case OracleKind::kNorec:
     case OracleKind::kTlp:
+    case OracleKind::kTxnSerial:
+      // Transaction findings reduce differentially, like the metamorphic
+      // oracles: the decisive SELECT (snapshot or committed-state fetch)
+      // must still disagree with a clean engine replaying the same
+      // interleaved stream. BEGIN/COMMIT/ROLLBACK statements removed by a
+      // ddmin chunk merely reshape the schedule — the final differential
+      // decides whether the shrunken schedule still reproduces.
       // Metamorphic findings reduce differentially: the decisive (last)
       // transformed query must still disagree with the reference engine.
       // Without a reference — or when the disagreement sat in an earlier

@@ -87,6 +87,39 @@ void TallyAction(const Stmt& stmt, RunStats* stats) {
   }
 }
 
+// True when every row of `subset` occurs in `superset` as a multiset
+// (each superset row consumed at most once). On failure *missing (when
+// non-null) receives the first unmatched subset row.
+bool RowsMultisetContained(
+    const std::vector<std::vector<SqlValue>>& subset,
+    const std::vector<std::vector<SqlValue>>& superset,
+    std::vector<SqlValue>* missing) {
+  std::vector<bool> used(superset.size(), false);
+  for (const auto& row : subset) {
+    bool found = false;
+    for (size_t i = 0; i < superset.size(); ++i) {
+      if (used[i] || superset[i].size() != row.size()) continue;
+      bool equal = true;
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (!ValueEquals(superset[i][c], row[c])) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        used[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (missing != nullptr) *missing = row;
+      return false;
+    }
+  }
+  return true;
+}
+
 // Worst-case 1-based position of the pivot in `query`'s result under
 // reference semantics: the number of result rows whose ORDER BY keys sort
 // at-or-before the pivot's (ties may legally precede it), or the full
@@ -189,6 +222,405 @@ struct DbRunResult {
   bool factory_failed = false;  // factory returned null; run ends before it
 };
 
+// One database of the interleaved-transaction branch (DESIGN §14): K
+// logical sessions drive BEGIN/COMMIT/ROLLBACK streams against the engine
+// under test while two clean MiniDB instances hold the ground truth. The
+// *mirror* executes the identical interleaved stream (SetSession included)
+// and answers "what should this session see right now" — the
+// snapshot-isolation oracle. The *replay* model never sees a BEGIN: it
+// receives each committed transaction's successful DML serially, in commit
+// order, and answers "what must the committed state be" — the serial-replay
+// oracle. Under SI with first-committer-wins at table granularity, applying
+// committed transactions' writes in commit order reproduces the committed
+// state exactly (no committer's written tables changed between its snapshot
+// and its commit), which is what makes the serial comparison sound.
+DbRunResult RunTxnDatabase(const WorkerEngineFactory& factory, int worker,
+                           const RunnerOptions& options, uint64_t db_seed) {
+  DbRunResult out;
+  Rng rng(db_seed);
+  ConnectionPtr conn = factory(worker);
+  if (conn == nullptr) {
+    out.factory_failed = true;
+    return out;
+  }
+  Dialect dialect = conn->dialect();
+  Generator generator(options.gen, dialect);
+  DatabasePlan plan;
+  {
+    obs::ScopedPhase span(obs::Phase::kGenerate);
+    plan = generator.GenerateDatabase(&rng);
+    // Guarantee at least one index per table: the transaction stream never
+    // issues DDL, so only setup indexes keep the index-maintenance paths
+    // (and the rollback-stale-index probe below) reachable. A unique index
+    // over already-inserted duplicate data is rejected as a tolerated
+    // constraint violation, same as mid-session CREATE INDEX.
+    int index_counter = 0;
+    for (const StmtPtr& s : plan.statements) {
+      if (s->kind() == StmtKind::kCreateIndex) ++index_counter;
+    }
+    for (const TableSchema& table : plan.tables) {
+      plan.statements.push_back(generator.GenerateIndex(
+          table, "i" + std::to_string(index_counter++), &rng));
+    }
+  }
+  ++out.stats.databases_created;
+
+  minidb::Database mirror(dialect);  // interleaved ground truth
+  minidb::Database replay(dialect);  // serial committed-state ground truth
+  ActionScheduler scheduler(&generator, options.gen, &plan);
+  std::vector<StmtPtr> stream_log;
+
+  bool finding_in_db = false;
+  auto record = [&](Finding finding) {
+    finding.dialect = dialect;
+    finding.seed = options.seed;
+    if (obs::SessionTelemetry* t = obs::CurrentTelemetry()) {
+      t->metrics.Count(obs::Counter::kFindingsRecorded);
+      t->recorder.Emit(t->clock, obs::EventKind::kFindingRecorded,
+                       static_cast<uint32_t>(finding.oracle));
+      finding.flight = t->recorder.Dump();
+    }
+    out.findings.push_back(std::move(finding));
+    finding_in_db = true;
+  };
+
+  auto exec_engine = [&](const Stmt& stmt) {
+    StatementResult r;
+    {
+      obs::ScopedPhase span(obs::Phase::kEngineExecute);
+      r = conn->Execute(stmt);
+      obs::CountStatement(static_cast<uint32_t>(stmt.kind()), !r.ok());
+    }
+    ++out.stats.statements_executed;
+    return r;
+  };
+  auto exec_mirror = [&](const Stmt& stmt) {
+    obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+    return mirror.Execute(stmt);
+  };
+
+  // Key columns of setup indexes the mirror accepted, for the index-probe
+  // check (a corrupted index shows up only through an indexed lookup).
+  std::vector<std::pair<std::string, std::string>> probe_cols;
+
+  // --- Setup on all three engines (DDL + base data + indexes). ---------
+  size_t setup_done = 0;
+  for (const StmtPtr& stmt : plan.statements) {
+    StatementResult result = exec_engine(*stmt);
+    ++setup_done;
+    StatementResult mirror_result = exec_mirror(*stmt);
+    {
+      obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+      replay.Execute(*stmt);
+    }
+    scheduler.Observe(*stmt, mirror_result.ok());
+    if (mirror_result.ok() && stmt->kind() == StmtKind::kCreateIndex) {
+      const auto& ci = static_cast<const CreateIndexStmt&>(*stmt);
+      if (!ci.columns.empty()) {
+        probe_cols.emplace_back(ci.table_name, ci.columns[0]);
+      }
+    }
+    if (result.status == StatementStatus::kConstraintViolation) {
+      ++out.stats.constraint_violations;
+      continue;
+    }
+    if (result.status == StatementStatus::kUnsupported) {
+      out.unsupported_engine = true;
+      return out;
+    }
+    if (result.status == StatementStatus::kError ||
+        result.status == StatementStatus::kCrash) {
+      Finding finding;
+      finding.oracle = result.status == StatementStatus::kError
+                           ? OracleKind::kError
+                           : OracleKind::kCrash;
+      finding.statements = CloneLog(plan, setup_done, nullptr);
+      finding.message = result.error;
+      record(std::move(finding));
+      break;
+    }
+  }
+  if (finding_in_db) return out;
+
+  // Per-session bookkeeping for the serial-replay model: the successful
+  // DML of each open transaction, forwarded on commit.
+  struct SessionTxn {
+    bool open = false;
+    std::vector<StmtPtr> committed_dml;
+  };
+  int sessions = options.gen.txn_sessions;
+  std::vector<SessionTxn> session_txns(static_cast<size_t>(sessions));
+  int current_session = 0;
+
+  // Routes a statement to the engine and the mirror, prefixing a session
+  // switch when `session` differs from the last action's. Every executed
+  // stream statement lands in stream_log so findings replay flat.
+  auto switch_session = [&](int session) {
+    if (session == current_session) return;
+    auto set = std::make_unique<SetSessionStmt>();
+    set->session = session;
+    exec_engine(*set);
+    exec_mirror(*set);
+    current_session = session;
+    stream_log.push_back(std::move(set));
+  };
+
+  // Engine-vs-replay committed-state comparison: the engine's post-commit
+  // autocommit view of every table must equal the serial replay of the
+  // committed transactions. Returns false when a finding was recorded.
+  auto committed_state_matches = [&]() {
+    ++out.stats.txn_serial_replays;
+    for (const TableSchema& table : plan.tables) {
+      SelectStmt fetch;
+      fetch.from_tables = {table.name};
+      StatementResult rows = exec_engine(fetch);
+      if (rows.status == StatementStatus::kUnsupported) {
+        out.unsupported_engine = true;
+        return false;
+      }
+      if (!rows.ok()) {
+        Finding finding;
+        finding.oracle = rows.status == StatementStatus::kCrash
+                             ? OracleKind::kCrash
+                             : OracleKind::kError;
+        finding.statements = CloneSession(plan, stream_log, &fetch);
+        finding.message = rows.error;
+        record(std::move(finding));
+        return false;
+      }
+      const std::vector<std::vector<SqlValue>>* serial_rows =
+          replay.TableRows(table.name);
+      bool diverged;
+      {
+        obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+        diverged = serial_rows != nullptr &&
+                   !SameRowMultiset(rows.rows, *serial_rows);
+      }
+      if (diverged) {
+        Finding finding;
+        finding.oracle = OracleKind::kTxnSerial;
+        finding.statements = CloneSession(plan, stream_log, &fetch);
+        finding.message =
+            "table " + table.name +
+            " diverged from the serial replay of committed transactions: "
+            "engine has " +
+            std::to_string(rows.rows.size()) + " row(s), serial replay " +
+            std::to_string(serial_rows->size());
+        record(std::move(finding));
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // --- Interleaved transaction stream + checks. ------------------------
+  for (int q = 0; q < options.queries_per_database && !finding_in_db; ++q) {
+    for (SessionAction& action : scheduler.NextTxnBatch(&rng)) {
+      switch_session(action.session);
+      SessionTxn& sess = session_txns[static_cast<size_t>(action.session)];
+      StmtKind kind = action.stmt->kind();
+      StatementResult engine_result = exec_engine(*action.stmt);
+      TallyAction(*action.stmt, &out.stats);
+      StatementResult mirror_result = exec_mirror(*action.stmt);
+      uint32_t clock = static_cast<uint32_t>(mirror.commit_clock());
+      bool committed = false;
+      switch (kind) {
+        case StmtKind::kBegin:
+          if (mirror_result.ok()) {
+            sess.open = true;
+            sess.committed_dml.clear();
+            ++out.stats.txn_begins;
+            obs::Count(obs::Counter::kTxnBegins);
+            obs::Emit(obs::EventKind::kTxnBegin,
+                      static_cast<uint32_t>(action.session), clock);
+          }
+          break;
+        case StmtKind::kCommit:
+          if (mirror_result.ok()) {
+            ++out.stats.txn_commits;
+            obs::Count(obs::Counter::kTxnCommits);
+            obs::Emit(obs::EventKind::kTxnCommit,
+                      static_cast<uint32_t>(action.session), clock);
+            obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+            for (const StmtPtr& dml : sess.committed_dml) {
+              replay.Execute(*dml);
+            }
+          } else if (mirror_result.status == StatementStatus::kTxnConflict) {
+            ++out.stats.txn_conflicts;
+            obs::Count(obs::Counter::kTxnConflicts);
+            obs::Emit(obs::EventKind::kTxnAbort,
+                      static_cast<uint32_t>(action.session), 1);
+          }
+          sess.open = false;
+          sess.committed_dml.clear();
+          committed = true;
+          break;
+        case StmtKind::kRollback:
+          if (mirror_result.ok()) {
+            ++out.stats.txn_rollbacks;
+            obs::Count(obs::Counter::kTxnRollbacks);
+            obs::Emit(obs::EventKind::kTxnAbort,
+                      static_cast<uint32_t>(action.session), 0);
+          }
+          sess.open = false;
+          sess.committed_dml.clear();
+          break;
+        default:  // DML
+          if (mirror_result.ok()) {
+            if (sess.open) {
+              sess.committed_dml.push_back(action.stmt->Clone());
+            } else {
+              // Autocommit DML is its own committed transaction; the
+              // serial model receives it immediately.
+              obs::ScopedPhase span(obs::Phase::kGroundTruthReplay);
+              replay.Execute(*action.stmt);
+            }
+          }
+          break;
+      }
+      StatementStatus status = engine_result.status;
+      std::string error = std::move(engine_result.error);
+      stream_log.push_back(std::move(action.stmt));
+      if (status == StatementStatus::kUnsupported) {
+        out.unsupported_engine = true;
+        return out;
+      }
+      if (status == StatementStatus::kTxnConflict ||
+          status == StatementStatus::kConstraintViolation) {
+        if (status == StatementStatus::kConstraintViolation) {
+          ++out.stats.constraint_violations;
+        }
+        // A first-committer-wins conflict is expected SI behavior, never
+        // a finding; the serial model only ever sees the winner.
+      } else if (status == StatementStatus::kError ||
+                 status == StatementStatus::kCrash) {
+        Finding finding;
+        finding.oracle = status == StatementStatus::kError
+                             ? OracleKind::kError
+                             : OracleKind::kCrash;
+        finding.statements = CloneSession(plan, stream_log, nullptr);
+        finding.message = error;
+        record(std::move(finding));
+        break;
+      }
+      // Committed-state check right after every COMMIT: the strongest
+      // point to compare, since the committing session is back in
+      // autocommit and reads the latest committed state.
+      if (committed && !committed_state_matches()) break;
+    }
+    if (finding_in_db || out.unsupported_engine) break;
+
+    // Snapshot check: inside a randomly chosen session's view, the engine
+    // must agree with the mirror (which replays the identical interleaved
+    // stream on a clean engine). Runs *before* the index probe so a
+    // dirty-read divergence always attributes to the transaction oracle.
+    switch_session(static_cast<int>(rng.Below(static_cast<size_t>(sessions))));
+    for (const TableSchema& table : plan.tables) {
+      SelectStmt fetch;
+      fetch.from_tables = {table.name};
+      StatementResult engine_rows = exec_engine(fetch);
+      ++out.stats.txn_snapshot_checks;
+      if (engine_rows.status == StatementStatus::kUnsupported) {
+        out.unsupported_engine = true;
+        return out;
+      }
+      if (!engine_rows.ok()) {
+        Finding finding;
+        finding.oracle = engine_rows.status == StatementStatus::kCrash
+                             ? OracleKind::kCrash
+                             : OracleKind::kError;
+        finding.statements = CloneSession(plan, stream_log, &fetch);
+        finding.message = engine_rows.error;
+        record(std::move(finding));
+        break;
+      }
+      StatementResult mirror_rows = exec_mirror(fetch);
+      if (!mirror_rows.ok()) continue;  // clean mirror; defensive
+      if (!SameRowMultiset(engine_rows.rows, mirror_rows.rows)) {
+        Finding finding;
+        finding.oracle = OracleKind::kTxnSerial;
+        finding.statements = CloneSession(plan, stream_log, &fetch);
+        finding.message =
+            "session " + std::to_string(current_session) +
+            " snapshot of table " + table.name +
+            " diverged from the interleaved ground-truth replay: engine "
+            "has " +
+            std::to_string(engine_rows.rows.size()) + " row(s), reference " +
+            std::to_string(mirror_rows.rows.size());
+        record(std::move(finding));
+        break;
+      }
+    }
+    if (finding_in_db) break;
+
+    // Index probe: an equality lookup on an indexed column. The mirror's
+    // rows must be multiset-contained in the engine's — a stale index
+    // entry left by a rolled-back transaction makes the engine's indexed
+    // scan *miss* rows, while extra rows (a dirty read) never misfire
+    // this check.
+    if (!probe_cols.empty()) {
+      const auto& [probe_table, probe_col] =
+          probe_cols[rng.Below(probe_cols.size())];
+      const std::vector<std::vector<SqlValue>>* committed_rows =
+          replay.TableRows(probe_table);
+      const TableSchema* schema = nullptr;
+      size_t col_index = 0;
+      for (const TableSchema& table : plan.tables) {
+        if (table.name != probe_table) continue;
+        schema = &table;
+        for (size_t c = 0; c < table.columns.size(); ++c) {
+          if (table.columns[c].name == probe_col) col_index = c;
+        }
+      }
+      if (schema != nullptr && committed_rows != nullptr &&
+          !committed_rows->empty()) {
+        const auto& sample =
+            (*committed_rows)[rng.Below(committed_rows->size())];
+        if (col_index < sample.size()) {
+          SelectStmt probe;
+          probe.from_tables = {probe_table};
+          probe.where =
+              MakeBinary(BinaryOp::kEq, MakeColumnRef(probe_table, probe_col),
+                         MakeLiteral(sample[col_index]));
+          StatementResult engine_rows = exec_engine(probe);
+          if (engine_rows.status == StatementStatus::kUnsupported) {
+            out.unsupported_engine = true;
+            return out;
+          }
+          if (!engine_rows.ok()) {
+            Finding finding;
+            finding.oracle = engine_rows.status == StatementStatus::kCrash
+                                 ? OracleKind::kCrash
+                                 : OracleKind::kError;
+            finding.statements = CloneSession(plan, stream_log, &probe);
+            finding.message = engine_rows.error;
+            record(std::move(finding));
+            continue;
+          }
+          StatementResult mirror_rows = exec_mirror(probe);
+          std::vector<SqlValue> missing;
+          if (mirror_rows.ok() &&
+              !RowsMultisetContained(mirror_rows.rows, engine_rows.rows,
+                                     &missing)) {
+            Finding finding;
+            finding.oracle = OracleKind::kContainment;
+            finding.statements = CloneSession(plan, stream_log, &probe);
+            finding.pivot = missing;
+            finding.message =
+                "indexed lookup on " + probe_table + "." + probe_col +
+                " dropped committed row(s): engine returned " +
+                std::to_string(engine_rows.rows.size()) +
+                " row(s), ground-truth replay " +
+                std::to_string(mirror_rows.rows.size());
+            record(std::move(finding));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
 // One iteration of the Algorithm 1+3 loop: build a database from its
 // private RNG stream, then pivot-check queries against the oracles. This
 // body is what the paper runs in every fuzzing thread; workers execute it
@@ -198,6 +630,11 @@ struct DbRunResult {
 DbRunResult RunOneDatabaseImpl(const WorkerEngineFactory& factory, int worker,
                                const RunnerOptions& options,
                                uint64_t db_seed) {
+  if (options.gen.txn_sessions > 1) {
+    // Interleaved-transaction branch: K sessions, snapshot isolation, and
+    // the serial-replay oracle in place of pivot containment.
+    return RunTxnDatabase(factory, worker, options, db_seed);
+  }
   DbRunResult out;
   Rng rng(db_seed);
   ConnectionPtr conn = factory(worker);
@@ -870,6 +1307,12 @@ void RunStats::Merge(const RunStats& other) {
   actions_drop_index += other.actions_drop_index;
   actions_maintenance += other.actions_maintenance;
   state_compares += other.state_compares;
+  txn_begins += other.txn_begins;
+  txn_commits += other.txn_commits;
+  txn_rollbacks += other.txn_rollbacks;
+  txn_conflicts += other.txn_conflicts;
+  txn_snapshot_checks += other.txn_snapshot_checks;
+  txn_serial_replays += other.txn_serial_replays;
   for (int i = 0; i < kDepthBuckets; ++i) {
     predicate_depth_buckets[i] += other.predicate_depth_buckets[i];
   }

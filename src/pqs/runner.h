@@ -93,6 +93,16 @@ struct RunStats {
   uint64_t actions_drop_index = 0;
   uint64_t actions_maintenance = 0;
   uint64_t state_compares = 0;
+  // Transaction-stream tallies (DESIGN §14): statements of the interleaved
+  // K-session stream, snapshot-isolation checks inside open transactions,
+  // and serial-replay comparisons after commits. Conflicts are expected
+  // first-committer-wins aborts, not findings.
+  uint64_t txn_begins = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_rollbacks = 0;
+  uint64_t txn_conflicts = 0;
+  uint64_t txn_snapshot_checks = 0;
+  uint64_t txn_serial_replays = 0;
 
   // Value merge: adds `other`'s tallies into this one. Merging the
   // per-shard stats of a run in any order equals the single-run totals.

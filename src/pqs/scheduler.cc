@@ -133,6 +133,76 @@ std::vector<StmtPtr> ActionScheduler::NextBatch(Rng* rng) {
   return batch;
 }
 
+StmtPtr ActionScheduler::NextTxnDml(Rng* rng) {
+  const GeneratorOptions& o = options_;
+  const TableSchema* table = PickTable(rng);
+  double dml_total = o.insert_weight + o.update_weight + o.delete_weight;
+  double roll = rng->Unit() * (dml_total > 0.0 ? dml_total : 1.0);
+  if (dml_total <= 0.0 || roll < o.insert_weight) {
+    return generator_->GenerateInsertRows(*table, rng);
+  }
+  roll -= o.insert_weight;
+  if (roll < o.update_weight) {
+    return generator_->GenerateUpdate(*table, LiteralOnlyColumns(*table),
+                                      IndexedColumns(*table), rng);
+  }
+  return generator_->GenerateDelete(*table, rng);
+}
+
+std::vector<SessionAction> ActionScheduler::NextTxnBatch(Rng* rng) {
+  obs::ScopedPhase span(obs::Phase::kGenerate);
+  std::vector<SessionAction> batch;
+  const GeneratorOptions& o = options_;
+  int sessions = o.txn_sessions < 1 ? 1 : o.txn_sessions;
+  if (txn_sessions_.empty()) {
+    txn_sessions_.resize(static_cast<size_t>(sessions));
+  }
+  // The batch length mirrors NextBatch's weighted stopping rule (the pivot
+  // check "comes up"), scaled by the session count so each session gets a
+  // comparable number of steps between checks.
+  double dml_total = o.insert_weight + o.update_weight + o.delete_weight;
+  if (!(dml_total > 0.0)) dml_total = 1.0;
+  int cap = o.max_actions_per_check * sessions;
+  for (int i = 0; i < cap; ++i) {
+    if (rng->Unit() * (o.pivot_check_weight + dml_total) <
+        o.pivot_check_weight) {
+      break;
+    }
+    int s = static_cast<int>(rng->Below(static_cast<size_t>(sessions)));
+    TxnSession& state = txn_sessions_[static_cast<size_t>(s)];
+    SessionAction action;
+    action.session = s;
+    if (!state.in_txn) {
+      if (rng->Chance(o.txn_begin_probability)) {
+        action.stmt = std::make_unique<BeginStmt>();
+        state.in_txn = true;
+        state.stmts_in_txn = 0;
+      } else {
+        action.stmt = NextTxnDml(rng);  // autocommit statement
+      }
+    } else if (state.stmts_in_txn >= o.max_txn_statements) {
+      // Forced resolution: every transaction commits within a bounded
+      // number of steps, so no schedule ends with work stuck open.
+      action.stmt = std::make_unique<CommitStmt>();
+      state.in_txn = false;
+    } else {
+      double r = rng->Unit();
+      if (r < o.txn_commit_probability) {
+        action.stmt = std::make_unique<CommitStmt>();
+        state.in_txn = false;
+      } else if (r < o.txn_commit_probability + o.txn_rollback_probability) {
+        action.stmt = std::make_unique<RollbackStmt>();
+        state.in_txn = false;
+      } else {
+        action.stmt = NextTxnDml(rng);
+        ++state.stmts_in_txn;
+      }
+    }
+    batch.push_back(std::move(action));
+  }
+  return batch;
+}
+
 void ActionScheduler::Observe(const Stmt& stmt, bool applied) {
   switch (stmt.kind()) {
     case StmtKind::kCreateIndex: {

@@ -24,6 +24,15 @@
 
 namespace pqs {
 
+// One step of the interleaved transaction stream: which logical session
+// issues the statement. The runner prefixes a SetSessionStmt whenever the
+// session differs from the previous action's, so the rendered statement log
+// stays a flat replayable stream.
+struct SessionAction {
+  int session = 0;
+  StmtPtr stmt;
+};
+
 class ActionScheduler {
  public:
   ActionScheduler(const Generator* generator, const GeneratorOptions& options,
@@ -34,6 +43,18 @@ class ActionScheduler {
   // capped at options.max_actions_per_check. Empty when every mutation
   // weight is zero.
   std::vector<StmtPtr> NextBatch(Rng* rng);
+
+  // Interleaved transaction stream over options.txn_sessions logical
+  // sessions (DESIGN §14). Each drawn step picks a session from the RNG and
+  // advances that session's state machine: an idle session BEGINs (with
+  // txn_begin_probability) or issues one autocommit DML statement; an open
+  // transaction COMMITs / ROLLBACKs / issues DML inside the transaction,
+  // with a forced COMMIT once it reaches max_txn_statements. The whole
+  // interleaving is a pure function of the session's RNG stream, so
+  // transaction schedules replay byte-identically under ShardPlan sharding.
+  // DDL and maintenance never appear in the stream — indexes come from the
+  // setup phase only, keeping every transactional statement MVCC-visible.
+  std::vector<SessionAction> NextTxnBatch(Rng* rng);
 
   // Bookkeeping callback for every statement executed on the ground-truth
   // model (setup and mutations alike): `applied` is whether the model
@@ -68,7 +89,16 @@ class ActionScheduler {
     ExprPtr where;  // clone of the partial predicate (nullable)
   };
 
+  // State machine for one logical session of the transaction stream.
+  struct TxnSession {
+    bool in_txn = false;
+    int stmts_in_txn = 0;
+  };
+
   const TableSchema* PickTable(Rng* rng) const;
+  // One DML statement (INSERT/UPDATE/DELETE by weight) for the transaction
+  // stream; never DDL or maintenance.
+  StmtPtr NextTxnDml(Rng* rng);
 
   const Generator* generator_;
   GeneratorOptions options_;
@@ -77,6 +107,9 @@ class ActionScheduler {
   // mid-session CREATE INDEX never reuses a name.
   int index_counter_ = 0;
   std::vector<LiveIndex> live_;
+  // Per-session transaction state, created lazily on the first
+  // NextTxnBatch call (size == options.txn_sessions).
+  std::vector<TxnSession> txn_sessions_;
 };
 
 }  // namespace pqs

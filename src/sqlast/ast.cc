@@ -450,6 +450,14 @@ const char* StatementCategory(const Stmt& stmt) {
       return "DELETE";
     case StmtKind::kMaintenance:
       return "REINDEX";
+    case StmtKind::kBegin:
+      return "BEGIN";
+    case StmtKind::kCommit:
+      return "COMMIT";
+    case StmtKind::kRollback:
+      return "ROLLBACK";
+    case StmtKind::kSetSession:
+      return "SET SESSION";
   }
   return "?";
 }

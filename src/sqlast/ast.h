@@ -212,6 +212,10 @@ enum class StmtKind {
   kUpdate,
   kDelete,
   kMaintenance,  // REINDEX / OPTIMIZE TABLE, dialect-rendered
+  kBegin,        // BEGIN / START TRANSACTION, dialect-rendered
+  kCommit,
+  kRollback,
+  kSetSession,   // scheduler-only: switch the active logical session
 };
 
 struct Stmt {

@@ -49,6 +49,45 @@ void SqliteConnection::set_statement_cache(bool enabled) {
   if (!enabled) ClearStatementCache();
 }
 
+bool SqliteConnection::Reset() {
+  if (db_ == nullptr) return false;
+  // Cached prepared statements hold the old schema; drop them first so no
+  // statement can observe the teardown below.
+  ClearStatementCache();
+  // An aborted session may have left a transaction open. DDL inside a
+  // transaction would be rolled back with it, so resolve the transaction
+  // before dropping objects.
+  if (sqlite3_get_autocommit(db_) == 0 &&
+      sqlite3_exec(db_, "ROLLBACK", nullptr, nullptr, nullptr) != SQLITE_OK) {
+    return false;
+  }
+  // Drop every user table (their indexes and triggers go with them).
+  sqlite3_stmt* list = nullptr;
+  if (sqlite3_prepare_v2(db_,
+                         "SELECT name FROM sqlite_master WHERE type = "
+                         "'table' AND name NOT LIKE 'sqlite_%'",
+                         -1, &list, nullptr) != SQLITE_OK) {
+    return false;
+  }
+  std::vector<std::string> tables;
+  while (sqlite3_step(list) == SQLITE_ROW) {
+    const unsigned char* name = sqlite3_column_text(list, 0);
+    if (name != nullptr) {
+      tables.push_back(reinterpret_cast<const char*>(name));
+    }
+  }
+  sqlite3_finalize(list);
+  for (const std::string& table : tables) {
+    std::string drop = "DROP TABLE IF EXISTS \"" + table + "\"";
+    if (sqlite3_exec(db_, drop.c_str(), nullptr, nullptr, nullptr) !=
+        SQLITE_OK) {
+      return false;
+    }
+  }
+  alive_ = true;
+  return true;
+}
+
 std::string SqliteConnection::EngineName() const {
   return std::string("sqlite-") + sqlite3_libversion();
 }
@@ -64,6 +103,11 @@ StatementResult SqliteConnection::Execute(const Stmt& stmt) {
     return StatementResult::Failure(StatementStatus::kCrash,
                                     "sqlite connection unavailable");
   }
+  // Session switches are a scheduling construct of the interleaved
+  // transaction stream; they render as a bare comment, which prepares to a
+  // null statement. One real connection is one session, so succeed without
+  // touching the engine.
+  if (stmt.kind() == StmtKind::kSetSession) return StatementResult::Ok();
   // No cache invalidation on DDL/DML: sqlite3_prepare_v2 statements
   // transparently re-prepare themselves when the schema changes
   // (SQLITE_SCHEMA handling is internal to the v2 interface), and data
@@ -224,6 +268,8 @@ void SqliteConnection::ClearStatementCache() {}
 void SqliteConnection::set_statement_cache(bool enabled) {
   cache_enabled_ = enabled;
 }
+
+bool SqliteConnection::Reset() { return false; }
 
 std::string SqliteConnection::EngineName() const { return "sqlite-stub"; }
 

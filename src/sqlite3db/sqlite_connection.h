@@ -40,6 +40,9 @@ class SqliteConnection : public Connection {
   Dialect dialect() const override { return Dialect::kSqliteFlex; }
   std::string EngineName() const override;
   bool alive() const override { return alive_; }
+  // In-place reset: rolls back any transaction an aborted session left
+  // open, drops every user object, and clears the statement cache.
+  bool Reset() override;
 
   // Statement-cache controls (bench_throughput measures the cache off/on).
   void set_statement_cache(bool enabled);

@@ -379,6 +379,26 @@ void RenderStmtTo(const Stmt& stmt, Dialect dialect, std::string* out) {
       AppendSelect(static_cast<const SelectStmt&>(stmt), dialect, out,
                    nullptr);
       return;
+    case StmtKind::kBegin:
+      // MySQL accepts bare BEGIN only outside stored programs; START
+      // TRANSACTION is the unambiguous spelling there.
+      *out += dialect == Dialect::kMysqlLike ? "START TRANSACTION" : "BEGIN";
+      return;
+    case StmtKind::kCommit:
+      *out += "COMMIT";
+      return;
+    case StmtKind::kRollback:
+      *out += "ROLLBACK";
+      return;
+    case StmtKind::kSetSession: {
+      const auto& ss = static_cast<const SetSessionStmt&>(stmt);
+      // Bookkeeping only — rendered as a comment so a reproduction script
+      // stays valid SQL while still recording the interleaving.
+      *out += "/* session ";
+      *out += std::to_string(ss.session);
+      *out += " */";
+      return;
+    }
   }
 }
 

@@ -48,4 +48,18 @@ StmtPtr MaintenanceStmt::Clone() const {
   return out;
 }
 
+StmtPtr BeginStmt::Clone() const { return std::make_unique<BeginStmt>(); }
+
+StmtPtr CommitStmt::Clone() const { return std::make_unique<CommitStmt>(); }
+
+StmtPtr RollbackStmt::Clone() const {
+  return std::make_unique<RollbackStmt>();
+}
+
+StmtPtr SetSessionStmt::Clone() const {
+  auto out = std::make_unique<SetSessionStmt>();
+  out->session = session;
+  return out;
+}
+
 }  // namespace pqs

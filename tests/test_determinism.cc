@@ -241,6 +241,12 @@ std::string Fingerprint(const RunReport& r) {
   num(r.stats.actions_drop_index);
   num(r.stats.actions_maintenance);
   num(r.stats.state_compares);
+  num(r.stats.txn_begins);
+  num(r.stats.txn_commits);
+  num(r.stats.txn_rollbacks);
+  num(r.stats.txn_conflicts);
+  num(r.stats.txn_snapshot_checks);
+  num(r.stats.txn_serial_replays);
   num(r.findings.size());
   for (const Finding& f : r.findings) {
     num(static_cast<uint64_t>(f.oracle));
@@ -330,6 +336,47 @@ void TestTelemetryOnOffSameReport() {
   }
 }
 
+// Transaction workloads (gen.txn_sessions > 1 routes the runner into the
+// interleaved K-session branch, DESIGN §14) obey the same sharding
+// contract: an N-worker run merges byte-identically to the sequential one,
+// the transaction counters included, and every finding's flight ring
+// carries the transaction lifecycle events of the session that found it.
+void TestShardedTxnWorkloadMatchesSequential() {
+  auto run = [](int workers, bool stop_on_first) {
+    RunnerOptions options;
+    options.seed = 777;
+    options.databases = 40;
+    options.queries_per_database = 5;
+    options.workers = workers;
+    options.stop_on_first_finding = stop_on_first;
+    options.gen.txn_sessions = 3;
+    EngineFactory factory = []() -> ConnectionPtr {
+      return std::make_unique<minidb::Database>(
+          Dialect::kSqliteFlex, BugConfig::Single(BugId::kTxnLostUpdate));
+    };
+    PqsRunner runner(factory, options);
+    return runner.Run();
+  };
+  for (bool stop_on_first : {false, true}) {
+    RunReport sequential = run(1, stop_on_first);
+    CHECK(!sequential.findings.empty());
+    CHECK(sequential.stats.txn_commits > 0);
+    for (const Finding& f : sequential.findings) {
+      bool saw_txn_event = false;
+      for (const obs::FlightEvent& e : f.flight) {
+        saw_txn_event |= e.kind == obs::EventKind::kTxnBegin ||
+                         e.kind == obs::EventKind::kTxnCommit ||
+                         e.kind == obs::EventKind::kTxnAbort;
+      }
+      CHECK(saw_txn_event);
+    }
+    for (int workers : {2, 4}) {
+      CHECK_EQ(Fingerprint(run(workers, stop_on_first)),
+               Fingerprint(sequential));
+    }
+  }
+}
+
 void TestDifferentSeedsDiffer() {
   // Not a strict requirement of the API, but a sanity check that the seed
   // actually feeds the generator.
@@ -348,6 +395,7 @@ int main() {
   pqs::TestShardedCampaignMatchesSequential();
   pqs::TestBytecodeOnOffSameReport();
   pqs::TestTelemetryOnOffSameReport();
+  pqs::TestShardedTxnWorkloadMatchesSequential();
   pqs::TestDifferentSeedsDiffer();
   return pqs::test::Summary("test_determinism");
 }

@@ -764,6 +764,44 @@ std::vector<StmtPtr> BuildCorpus() {
     }
   }
 
+  // --- Transaction statements (PR 10): BEGIN / COMMIT / ROLLBACK in every
+  // --- dialect (MySQL spells BEGIN as START TRANSACTION). The committed
+  // --- block lands one row; the rolled-back block must leave no trace —
+  // --- and the corpus ends back in autocommit so the replay engines stay
+  // --- comparable statement-for-statement. -------------------------------
+
+  corpus.push_back(std::make_unique<BeginStmt>());
+  auto txn_ins = std::make_unique<InsertStmt>();
+  txn_ins->table_name = "t4";
+  txn_ins->rows.emplace_back();
+  txn_ins->rows.back().push_back(MakeIntLiteral(77));
+  txn_ins->rows.back().push_back(MakeTextLiteral("committed"));
+  corpus.push_back(std::move(txn_ins));
+  corpus.push_back(std::make_unique<CommitStmt>());
+
+  corpus.push_back(std::make_unique<BeginStmt>());
+  auto txn_upd = std::make_unique<UpdateStmt>();
+  txn_upd->table_name = "t4";
+  {
+    UpdateStmt::Assignment a;
+    a.column = "c8";
+    a.value = MakeTextLiteral("rolled-back");
+    txn_upd->assignments.push_back(std::move(a));
+  }
+  corpus.push_back(std::move(txn_upd));
+  auto txn_del = std::make_unique<DeleteStmt>();
+  txn_del->table_name = "t4";
+  txn_del->where = MakeBinary(BinaryOp::kEq, MakeColumnRef("t4", "c7"),
+                              MakeIntLiteral(41));
+  corpus.push_back(std::move(txn_del));
+  corpus.push_back(std::make_unique<RollbackStmt>());
+
+  // Q45: t4's end state — the committed row present, the aborted update
+  // and delete absent.
+  auto q45 = std::make_unique<SelectStmt>();
+  q45->from_tables = {"t4"};
+  corpus.push_back(std::move(q45));
+
   return corpus;
 }
 

@@ -77,6 +77,12 @@ void TestRunStatsMerge() {
   shard1.actions_drop_index = 1;
   shard1.actions_maintenance = 2;
   shard1.state_compares = 6;
+  shard1.txn_begins = 4;
+  shard1.txn_commits = 3;
+  shard1.txn_rollbacks = 1;
+  shard1.txn_conflicts = 2;
+  shard1.txn_snapshot_checks = 5;
+  shard1.txn_serial_replays = 3;
   RunStats shard2;
   shard2.statements_executed = 7;
   shard2.queries_checked = 2;
@@ -92,6 +98,11 @@ void TestRunStatsMerge() {
   shard2.actions_update = 2;
   shard2.actions_maintenance = 1;
   shard2.state_compares = 3;
+  shard2.txn_begins = 2;
+  shard2.txn_commits = 1;
+  shard2.txn_conflicts = 1;
+  shard2.txn_snapshot_checks = 2;
+  shard2.txn_serial_replays = 1;
   total.Merge(shard1);
   total.Merge(shard2);
   CHECK_EQ(total.statements_executed, uint64_t{17});
@@ -116,6 +127,12 @@ void TestRunStatsMerge() {
   CHECK_EQ(total.actions_drop_index, uint64_t{1});
   CHECK_EQ(total.actions_maintenance, uint64_t{3});
   CHECK_EQ(total.state_compares, uint64_t{9});
+  CHECK_EQ(total.txn_begins, uint64_t{6});
+  CHECK_EQ(total.txn_commits, uint64_t{4});
+  CHECK_EQ(total.txn_rollbacks, uint64_t{1});
+  CHECK_EQ(total.txn_conflicts, uint64_t{3});
+  CHECK_EQ(total.txn_snapshot_checks, uint64_t{7});
+  CHECK_EQ(total.txn_serial_replays, uint64_t{4});
 }
 
 void TestCoverageMapMerge() {

@@ -1,0 +1,669 @@
+// MVCC transaction layer tests (DESIGN §14): statement-level semantics of
+// BEGIN/COMMIT/ROLLBACK under snapshot isolation, direct hooks for every
+// injected transaction bug class, the K-session interleaved property
+// (committed state == serial replay on clean engines, zero false findings),
+// seeded schedule-replay identity across worker counts, default-budget
+// HuntBug detection of the transaction bugs, a serial differential sweep
+// against real sqlite3, and the Reset-with-open-transaction regression.
+//
+// Usage: test_txn_mvcc [--workers N]   (N also exercises the sharded path)
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/interp/eval.h"
+#include "src/minidb/bug_registry.h"
+#include "src/minidb/database.h"
+#include "src/obs/flight_recorder.h"
+#include "src/pqs/campaign.h"
+#include "src/pqs/runner.h"
+#include "src/pqs/scheduler.h"
+#include "src/sqlite3db/sqlite_connection.h"
+#include "src/sqlparser/render.h"
+#include "tests/test_util.h"
+
+namespace pqs {
+namespace {
+
+int g_workers = 4;  // overridden by --workers
+
+// --- Statement construction helpers. ----------------------------------
+
+StmtPtr MakeTable(const std::string& name) {
+  auto create = std::make_unique<CreateTableStmt>();
+  create->table_name = name;
+  ColumnDef a;
+  a.name = "a";
+  a.declared_type = "INT";
+  a.affinity = Affinity::kInteger;
+  ColumnDef b;
+  b.name = "b";
+  b.declared_type = "TEXT";
+  b.affinity = Affinity::kText;
+  create->columns = {a, b};
+  return create;
+}
+
+StmtPtr InsertRow(const std::string& table, int64_t a, const std::string& b) {
+  auto insert = std::make_unique<InsertStmt>();
+  insert->table_name = table;
+  insert->rows.emplace_back();
+  insert->rows.back().push_back(MakeLiteral(SqlValue::Int(a)));
+  insert->rows.back().push_back(MakeLiteral(SqlValue::Text(b)));
+  return insert;
+}
+
+SelectStmt SelectAll(const std::string& table) {
+  SelectStmt s;
+  s.from_tables = {table};
+  return s;
+}
+
+SelectStmt SelectWhereAEq(const std::string& table, int64_t v) {
+  SelectStmt s;
+  s.from_tables = {table};
+  s.where = MakeBinary(BinaryOp::kEq, MakeColumnRef(table, "a"),
+                       MakeLiteral(SqlValue::Int(v)));
+  return s;
+}
+
+StmtPtr UpdateBWhereAEq(const std::string& table, int64_t a,
+                        const std::string& new_b) {
+  auto update = std::make_unique<UpdateStmt>();
+  update->table_name = table;
+  update->assignments.emplace_back();
+  update->assignments.back().column = "b";
+  update->assignments.back().value = MakeLiteral(SqlValue::Text(new_b));
+  update->where = MakeBinary(BinaryOp::kEq, MakeColumnRef(table, "a"),
+                             MakeLiteral(SqlValue::Int(a)));
+  return update;
+}
+
+StmtPtr DeleteWhereAEq(const std::string& table, int64_t a) {
+  auto del = std::make_unique<DeleteStmt>();
+  del->table_name = table;
+  del->where = MakeBinary(BinaryOp::kEq, MakeColumnRef(table, "a"),
+                          MakeLiteral(SqlValue::Int(a)));
+  return del;
+}
+
+StatementResult Session(Connection* db, int session) {
+  SetSessionStmt set;
+  set.session = session;
+  return db->Execute(set);
+}
+
+StatementResult Begin(Connection* db) {
+  BeginStmt begin;
+  return db->Execute(begin);
+}
+
+StatementResult Commit(Connection* db) {
+  CommitStmt commit;
+  return db->Execute(commit);
+}
+
+StatementResult Rollback(Connection* db) {
+  RollbackStmt rollback;
+  return db->Execute(rollback);
+}
+
+size_t RowCount(Connection* db, const std::string& table) {
+  SelectStmt s = SelectAll(table);
+  StatementResult r = db->Execute(s);
+  CHECK(r.ok());
+  return r.rows.size();
+}
+
+// --- Per-statement semantics. -----------------------------------------
+
+void TestBeginCommitVisibility() {
+  minidb::Database db(Dialect::kSqliteFlex);
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+  CHECK(!db.in_mvcc_epoch());
+
+  CHECK(Session(&db, 0).ok());
+  CHECK(Begin(&db).ok());
+  CHECK(db.in_mvcc_epoch());
+  CHECK_EQ(db.open_transactions(), size_t{1});
+  CHECK(db.Execute(*InsertRow("t", 2, "b")).ok());
+  // Own uncommitted write is visible to the writer...
+  CHECK_EQ(RowCount(&db, "t"), size_t{2});
+  // ...and invisible to every other session's snapshot.
+  CHECK(Session(&db, 1).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{1});
+
+  CHECK(Session(&db, 0).ok());
+  CHECK(Commit(&db).ok());
+  CHECK(Session(&db, 1).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{2});
+  // All transactions resolved: the engine pruned back out of the epoch.
+  CHECK_EQ(db.open_transactions(), size_t{0});
+  CHECK(!db.in_mvcc_epoch());
+}
+
+void TestRollbackDiscards() {
+  minidb::Database db(Dialect::kSqliteFlex);
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+  CHECK(db.Execute(*InsertRow("t", 2, "b")).ok());
+
+  CHECK(Begin(&db).ok());
+  CHECK(db.Execute(*UpdateBWhereAEq("t", 1, "z")).ok());
+  CHECK(db.Execute(*DeleteWhereAEq("t", 2)).ok());
+  CHECK(db.Execute(*InsertRow("t", 3, "c")).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{2});  // {1,z} and {3,c}
+  CHECK(Rollback(&db).ok());
+  CHECK(!db.in_mvcc_epoch());
+
+  SelectStmt probe = SelectWhereAEq("t", 1);
+  StatementResult r = db.Execute(probe);
+  CHECK(r.ok());
+  CHECK_EQ(r.rows.size(), size_t{1});
+  CHECK(r.rows[0][1].cls == StorageClass::kText && r.rows[0][1].t == "a");
+  CHECK_EQ(RowCount(&db, "t"), size_t{2});  // original {1,a}, {2,b}
+}
+
+void TestTransactionStatementErrors() {
+  minidb::Database db(Dialect::kSqliteFlex);
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(Commit(&db).status == StatementStatus::kError);
+  CHECK(Rollback(&db).status == StatementStatus::kError);
+  CHECK(Begin(&db).ok());
+  CHECK(Begin(&db).status == StatementStatus::kError);  // nested
+  CHECK(Commit(&db).ok());
+  CHECK(Commit(&db).status == StatementStatus::kError);
+}
+
+void TestFirstCommitterWins() {
+  minidb::Database db(Dialect::kSqliteFlex);
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+  CHECK(db.Execute(*InsertRow("t", 2, "b")).ok());
+
+  CHECK(Session(&db, 0).ok());
+  CHECK(Begin(&db).ok());
+  CHECK(db.Execute(*UpdateBWhereAEq("t", 1, "x")).ok());
+  CHECK(Session(&db, 1).ok());
+  CHECK(Begin(&db).ok());
+  CHECK(db.Execute(*UpdateBWhereAEq("t", 2, "y")).ok());
+
+  CHECK(Session(&db, 0).ok());
+  CHECK(Commit(&db).ok());
+  // Second committer wrote the same table after the first's snapshot:
+  // first-committer-wins aborts it, and nothing of its write set lands.
+  CHECK(Session(&db, 1).ok());
+  CHECK(Commit(&db).status == StatementStatus::kTxnConflict);
+  CHECK(!db.in_mvcc_epoch());
+
+  StatementResult r1 = db.Execute(SelectWhereAEq("t", 1));
+  StatementResult r2 = db.Execute(SelectWhereAEq("t", 2));
+  CHECK(r1.ok() && r1.rows.size() == 1 && r1.rows[0][1].t == "x");
+  CHECK(r2.ok() && r2.rows.size() == 1 && r2.rows[0][1].t == "b");
+}
+
+void TestAutocommitDuringEpoch() {
+  minidb::Database db(Dialect::kSqliteFlex);
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+
+  CHECK(Session(&db, 0).ok());
+  CHECK(Begin(&db).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{1});  // snapshot pinned
+
+  // Another session's autocommit DML is an implicit single-statement
+  // transaction: immediately committed and visible to new snapshots...
+  CHECK(Session(&db, 1).ok());
+  CHECK(db.Execute(*InsertRow("t", 2, "b")).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{2});
+
+  // ...but session 0's open snapshot predates it.
+  CHECK(Session(&db, 0).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{1});
+  CHECK(Commit(&db).ok());
+  CHECK_EQ(RowCount(&db, "t"), size_t{2});
+}
+
+// Regression (satellite 4): a reset must roll back transactions an aborted
+// session left open, for MiniDB and for the real-sqlite adapter alike.
+void TestResetWithOpenTransaction() {
+  minidb::Database db(Dialect::kSqliteFlex);
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(Begin(&db).ok());
+  CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+  CHECK_EQ(db.open_transactions(), size_t{1});
+  CHECK(db.Reset());
+  CHECK_EQ(db.open_transactions(), size_t{0});
+  CHECK(!db.in_mvcc_epoch());
+  // The reset engine is a fresh database: same DDL re-applies, and a new
+  // transaction opens cleanly.
+  CHECK(db.Execute(*MakeTable("t")).ok());
+  CHECK(Begin(&db).ok());
+  CHECK(Commit(&db).ok());
+}
+
+void TestSqliteResetWithOpenTransaction() {
+  if (!SqliteConnection::Available()) return;
+  SqliteConnection conn;
+  CHECK(conn.Execute(*MakeTable("t")).ok());
+  CHECK(conn.Execute(*InsertRow("t", 1, "a")).ok());
+  // Session markers are a no-op on the one-writer adapter.
+  CHECK(Session(&conn, 3).ok());
+  CHECK(Begin(&conn).ok());
+  CHECK(conn.Execute(*InsertRow("t", 2, "b")).ok());
+  // Simulates the reducer recycling a connection an aborted session left
+  // mid-transaction: without the ROLLBACK-on-reset, the DROP TABLE teardown
+  // would be rolled back with the transaction and the next session would
+  // see stale objects.
+  CHECK(conn.Reset());
+  CHECK(conn.Execute(*MakeTable("t")).ok());  // name free again
+  CHECK_EQ(RowCount(&conn, "t"), size_t{0});
+  CHECK(Begin(&conn).ok());  // no transaction carried over
+  CHECK(Rollback(&conn).ok());
+}
+
+// --- Direct hooks for the injected transaction bug classes. ------------
+
+void TestLostUpdateHook() {
+  for (bool buggy : {false, true}) {
+    minidb::Database db(Dialect::kSqliteFlex,
+                        buggy ? BugConfig::Single(BugId::kTxnLostUpdate)
+                              : BugConfig());
+    CHECK(db.Execute(*MakeTable("t")).ok());
+    CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+    Session(&db, 0);
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*UpdateBWhereAEq("t", 1, "first")).ok());
+    Session(&db, 1);
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*UpdateBWhereAEq("t", 1, "second")).ok());
+    Session(&db, 0);
+    CHECK(Commit(&db).ok());
+    Session(&db, 1);
+    StatementResult second = Commit(&db);
+    if (buggy) {
+      // Update-only write sets skip the conflict check: the second commit
+      // silently overwrites the first (the classic lost update).
+      CHECK(second.ok());
+      StatementResult r = db.Execute(SelectWhereAEq("t", 1));
+      CHECK(r.ok() && r.rows.size() == 1 && r.rows[0][1].t == "second");
+    } else {
+      CHECK(second.status == StatementStatus::kTxnConflict);
+      StatementResult r = db.Execute(SelectWhereAEq("t", 1));
+      CHECK(r.ok() && r.rows.size() == 1 && r.rows[0][1].t == "first");
+    }
+  }
+}
+
+void TestDirtyReadHook() {
+  for (bool buggy : {false, true}) {
+    minidb::Database db(Dialect::kMysqlLike,
+                        buggy ? BugConfig::Single(BugId::kTxnDirtyRead)
+                              : BugConfig());
+    CHECK(db.Execute(*MakeTable("t")).ok());
+    CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+    Session(&db, 0);
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*InsertRow("t", 2, "uncommitted")).ok());
+    Session(&db, 1);
+    CHECK(Begin(&db).ok());
+    // Session 1's snapshot must not contain session 0's open insert; the
+    // bug leaks it into the read image.
+    CHECK_EQ(RowCount(&db, "t"), buggy ? size_t{2} : size_t{1});
+    Commit(&db);
+    Session(&db, 0);
+    Rollback(&db);
+  }
+}
+
+void TestWriteSkewHook() {
+  for (bool buggy : {false, true}) {
+    minidb::Database db(Dialect::kPostgresStrict,
+                        buggy ? BugConfig::Single(BugId::kTxnWriteSkew)
+                              : BugConfig());
+    CHECK(db.Execute(*MakeTable("t")).ok());
+    CHECK(db.Execute(*InsertRow("t", 1, "a")).ok());
+    Session(&db, 0);
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*UpdateBWhereAEq("t", 1, "x")).ok());
+    Session(&db, 1);
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*InsertRow("t", 2, "phantom")).ok());
+    Session(&db, 0);
+    CHECK(Commit(&db).ok());
+    Session(&db, 1);
+    StatementResult second = Commit(&db);
+    if (buggy) {
+      // Row-granular conflict detection under claimed SI: the second
+      // transaction wrote no existing row, so its insert slips past the
+      // first committer even though both wrote the same table.
+      CHECK(second.ok());
+    } else {
+      CHECK(second.status == StatementStatus::kTxnConflict);
+    }
+  }
+}
+
+void TestRollbackStaleIndexHook() {
+  for (bool buggy : {false, true}) {
+    minidb::Database db(
+        Dialect::kSqliteFlex,
+        buggy ? BugConfig::Single(BugId::kTxnRollbackStaleIndex)
+              : BugConfig());
+    CHECK(db.Execute(*MakeTable("t")).ok());
+    CreateIndexStmt index;
+    index.index_name = "i0";
+    index.table_name = "t";
+    index.columns = {"a"};
+    CHECK(db.Execute(index).ok());
+    for (int64_t v = 1; v <= 4; ++v) {
+      CHECK(db.Execute(*InsertRow("t", v, "r")).ok());
+    }
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*DeleteWhereAEq("t", 2)).ok());
+    CHECK(Rollback(&db).ok());
+    CHECK(!db.in_mvcc_epoch());
+    // The rollback must restore the index too. The bug rebuilds it from
+    // the aborted transaction's overlay image, so the indexed probe loses
+    // the row the transaction had deleted — while a full scan still
+    // returns it (a containment violation, not a snapshot one).
+    StatementResult probe = db.Execute(SelectWhereAEq("t", 2));
+    CHECK(probe.ok());
+    CHECK_EQ(probe.rows.size(), buggy ? size_t{0} : size_t{1});
+    CHECK_EQ(RowCount(&db, "t"), size_t{4});
+  }
+}
+
+void TestSnapshotUncommittedReadHook() {
+  for (bool buggy : {false, true}) {
+    minidb::Database db(
+        Dialect::kMysqlLike,
+        buggy ? BugConfig::Single(BugId::kTxnSnapshotUncommittedRead)
+              : BugConfig());
+    CHECK(db.Execute(*MakeTable("t")).ok());
+    CHECK(db.Execute(*InsertRow("t", 1, "committed")).ok());
+    Session(&db, 0);
+    CHECK(Begin(&db).ok());
+    CHECK_EQ(RowCount(&db, "t"), size_t{1});  // snapshot pinned
+    Session(&db, 1);
+    CHECK(Begin(&db).ok());
+    CHECK(db.Execute(*UpdateBWhereAEq("t", 1, "pending")).ok());
+    Session(&db, 0);
+    StatementResult r = db.Execute(SelectWhereAEq("t", 1));
+    CHECK(r.ok() && r.rows.size() == 1);
+    // The bug substitutes the other transaction's pending (uncommitted)
+    // version into session 0's snapshot read.
+    CHECK_EQ(r.rows[0][1].t, std::string(buggy ? "pending" : "committed"));
+    Rollback(&db);
+    Session(&db, 1);
+    Rollback(&db);
+  }
+}
+
+// --- Runner-level properties. -----------------------------------------
+
+RunnerOptions TxnRunnerOptions(uint64_t seed, int sessions, int databases,
+                               int workers) {
+  RunnerOptions options;
+  options.seed = seed;
+  options.databases = databases;
+  options.queries_per_database = 5;
+  options.workers = workers;
+  options.gen.txn_sessions = sessions;
+  return options;
+}
+
+// Clean engines across K interleaved sessions: the snapshot checks, the
+// serial-replay comparisons, and the index probes must all stay silent —
+// the zero-false-positive property the transaction oracle rests on.
+// Runs 2000 fuzzing sessions total across K ∈ {2, 3, 4}.
+void TestInterleavedCleanProperty() {
+  struct KPlan {
+    int sessions;
+    int databases;
+  };
+  const KPlan plans[] = {{2, 700}, {3, 700}, {4, 600}};
+  for (const KPlan& plan : plans) {
+    RunnerOptions options =
+        TxnRunnerOptions(4242 + plan.sessions, plan.sessions, plan.databases,
+                         g_workers);
+    EngineFactory factory = []() -> ConnectionPtr {
+      return std::make_unique<minidb::Database>(Dialect::kSqliteFlex);
+    };
+    PqsRunner runner(factory, options);
+    RunReport report = runner.Run();
+    CHECK_EQ(report.invalid_options, std::string());
+    CHECK(!report.unsupported_engine);
+    CHECK_MSG(report.findings.empty(),
+              "K=%d produced %zu false finding(s): %s", plan.sessions,
+              report.findings.size(),
+              report.findings.empty()
+                  ? ""
+                  : report.findings[0].message.c_str());
+    // The schedule actually exercised the machinery.
+    CHECK(report.stats.txn_begins > 0);
+    CHECK(report.stats.txn_commits > 0);
+    CHECK(report.stats.txn_rollbacks > 0);
+    CHECK(report.stats.txn_snapshot_checks > 0);
+    CHECK(report.stats.txn_serial_replays > 0);
+    CHECK(report.stats.txn_conflicts > 0);  // contention is generated too
+  }
+}
+
+// Everything a transaction-workload report asserts on, as one byte string.
+std::string Fingerprint(const RunReport& r) {
+  std::string out;
+  auto num = [&out](uint64_t v) {
+    out += std::to_string(v);
+    out += '|';
+  };
+  num(r.stats.statements_executed);
+  num(r.stats.databases_created);
+  num(r.stats.constraint_violations);
+  num(r.stats.actions_insert);
+  num(r.stats.actions_update);
+  num(r.stats.actions_delete);
+  num(r.stats.txn_begins);
+  num(r.stats.txn_commits);
+  num(r.stats.txn_rollbacks);
+  num(r.stats.txn_conflicts);
+  num(r.stats.txn_snapshot_checks);
+  num(r.stats.txn_serial_replays);
+  num(r.findings.size());
+  for (const Finding& f : r.findings) {
+    num(static_cast<uint64_t>(f.oracle));
+    out += RenderScript(f.statements, Dialect::kSqliteFlex);
+    out += '|';
+  }
+  return out;
+}
+
+// Same seed ⇒ byte-identical schedule and report, including across worker
+// counts: the interleaving is a pure function of the shard plan's seeds.
+void TestSeededInterleavingReplayIdentity() {
+  auto run = [](int workers) {
+    RunnerOptions options = TxnRunnerOptions(777, 3, 40, workers);
+    EngineFactory factory = []() -> ConnectionPtr {
+      return std::make_unique<minidb::Database>(
+          Dialect::kSqliteFlex, BugConfig::Single(BugId::kTxnLostUpdate));
+    };
+    PqsRunner runner(factory, options);
+    return runner.Run();
+  };
+  RunReport one = run(1);
+  RunReport again = run(1);
+  CHECK_EQ(Fingerprint(one), Fingerprint(again));
+  for (int workers : {2, 4}) {
+    CHECK_EQ(Fingerprint(one), Fingerprint(run(workers)));
+  }
+  // The buggy engine actually produced transaction findings to compare.
+  CHECK(!one.findings.empty());
+}
+
+// Findings from the transaction branch carry flight-recorder provenance
+// with the transaction lifecycle events in it.
+void TestFlightRecorderCarriesTxnEvents() {
+  RunnerOptions options = TxnRunnerOptions(777, 3, 40, 1);
+  options.stop_on_first_finding = true;
+  EngineFactory factory = []() -> ConnectionPtr {
+    return std::make_unique<minidb::Database>(
+        Dialect::kSqliteFlex, BugConfig::Single(BugId::kTxnLostUpdate));
+  };
+  PqsRunner runner(factory, options);
+  RunReport report = runner.Run();
+  CHECK(!report.findings.empty());
+  if (report.findings.empty()) return;
+  const Finding& finding = report.findings.front();
+  CHECK(!finding.flight.empty());
+  bool saw_begin = false;
+  bool saw_resolution = false;  // commit or abort
+  for (const obs::FlightEvent& e : finding.flight) {
+    saw_begin |= e.kind == obs::EventKind::kTxnBegin;
+    saw_resolution |= e.kind == obs::EventKind::kTxnCommit ||
+                      e.kind == obs::EventKind::kTxnAbort;
+  }
+  CHECK(saw_begin);
+  CHECK(saw_resolution);
+  // The merged registry carries the runner-side transaction counters.
+  CHECK(report.metrics.counter(obs::Counter::kTxnBegins) > 0);
+  CHECK(report.metrics.counter(obs::Counter::kTxnCommits) > 0);
+}
+
+// Every injected transaction bug is detected within HuntBug's default
+// database budget, firing the oracle its registry entry declares.
+void TestHuntBugDetectsTransactionBugs() {
+  const BugId bugs[] = {
+      BugId::kTxnLostUpdate,         BugId::kTxnDirtyRead,
+      BugId::kTxnWriteSkew,          BugId::kTxnRollbackStaleIndex,
+      BugId::kTxnSnapshotUncommittedRead,
+  };
+  for (BugId bug : bugs) {
+    CampaignOptions options;  // default 480-database budget
+    options.seed = 99;
+    options.workers = g_workers;
+    // Reduction is exercised for the serial oracle below; the detection
+    // sweep keeps the raw findings.
+    options.reduce = bug == BugId::kTxnLostUpdate;
+    BugHuntResult result = HuntBug(bug, options);
+    const minidb::BugInfo& info = minidb::LookupBug(bug);
+    CHECK_MSG(result.detected, "bug %s not detected within %d databases",
+              info.name, options.databases_per_bug);
+    if (!result.detected) continue;
+    CHECK_MSG(result.oracle == info.oracle,
+              "bug %s fired oracle %s, registry declares %s", info.name,
+              OracleName(result.oracle), OracleName(info.oracle));
+    CHECK(!result.reduced.statements.empty());
+  }
+}
+
+// --- Differential sweep against real sqlite3 (always on when the build
+// --- has libsqlite3). The interleaved schedule is replayed *serially*
+// --- through one connection — SQLite's one-writer model — and MiniDB,
+// --- fed the identical flat stream, must agree on every statement's
+// --- outcome class and on the final committed state. ------------------
+
+enum class OutcomeClass { kOk, kConstraint, kError };
+
+OutcomeClass Classify(const StatementResult& r) {
+  if (r.ok()) return OutcomeClass::kOk;
+  if (r.status == StatementStatus::kConstraintViolation) {
+    return OutcomeClass::kConstraint;
+  }
+  return OutcomeClass::kError;
+}
+
+void TestDifferentialTxnSweepVsSqlite() {
+  if (!SqliteConnection::Available()) return;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    GeneratorOptions gen;
+    gen.txn_sessions = 3;  // richer BEGIN/COMMIT/ROLLBACK mix
+    Generator generator(gen, Dialect::kSqliteFlex);
+    DatabasePlan plan = generator.GenerateDatabase(&rng);
+    ActionScheduler scheduler(&generator, gen, &plan);
+
+    SqliteConnection real;
+    minidb::Database mini(Dialect::kSqliteFlex);
+    for (const StmtPtr& stmt : plan.statements) {
+      StatementResult a = real.Execute(*stmt);
+      StatementResult b = mini.Execute(*stmt);
+      CHECK_MSG(Classify(a) == Classify(b),
+                "seed %llu setup outcome diverged on %s",
+                static_cast<unsigned long long>(seed),
+                RenderStmt(*stmt, Dialect::kSqliteFlex).c_str());
+      scheduler.Observe(*stmt, b.ok());
+    }
+
+    // Serial replay: the flat action stream, session markers dropped. A
+    // BEGIN landing inside the open transaction errors identically on
+    // both engines; COMMIT/ROLLBACK pair up the same way.
+    bool in_txn = false;
+    for (int q = 0; q < 8; ++q) {
+      for (SessionAction& action : scheduler.NextTxnBatch(&rng)) {
+        StatementResult a = real.Execute(*action.stmt);
+        StatementResult b = mini.Execute(*action.stmt);
+        CHECK_MSG(Classify(a) == Classify(b),
+                  "seed %llu stream outcome diverged (%d vs %d) on %s",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<int>(a.status), static_cast<int>(b.status),
+                  RenderStmt(*action.stmt, Dialect::kSqliteFlex).c_str());
+        if (b.ok()) {
+          if (action.stmt->kind() == StmtKind::kBegin) in_txn = true;
+          if (action.stmt->kind() == StmtKind::kCommit ||
+              action.stmt->kind() == StmtKind::kRollback) {
+            in_txn = false;
+          }
+        }
+      }
+    }
+    if (in_txn) {
+      CHECK(Commit(&real).ok());
+      CHECK(Commit(&mini).ok());
+    }
+    for (const TableSchema& table : plan.tables) {
+      SelectStmt fetch = SelectAll(table.name);
+      StatementResult a = real.Execute(fetch);
+      StatementResult b = mini.Execute(fetch);
+      CHECK(a.ok() && b.ok());
+      CHECK_MSG(SameRowMultiset(a.rows, b.rows),
+                "seed %llu: table %s diverged after serial transaction "
+                "replay (sqlite %zu rows, minidb %zu rows)",
+                static_cast<unsigned long long>(seed), table.name.c_str(),
+                a.rows.size(), b.rows.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pqs
+
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      pqs::g_workers = std::atoi(argv[i + 1]);
+      if (pqs::g_workers < 1) pqs::g_workers = 1;
+    }
+  }
+  pqs::TestBeginCommitVisibility();
+  pqs::TestRollbackDiscards();
+  pqs::TestTransactionStatementErrors();
+  pqs::TestFirstCommitterWins();
+  pqs::TestAutocommitDuringEpoch();
+  pqs::TestResetWithOpenTransaction();
+  pqs::TestSqliteResetWithOpenTransaction();
+  pqs::TestLostUpdateHook();
+  pqs::TestDirtyReadHook();
+  pqs::TestWriteSkewHook();
+  pqs::TestRollbackStaleIndexHook();
+  pqs::TestSnapshotUncommittedReadHook();
+  pqs::TestInterleavedCleanProperty();
+  pqs::TestSeededInterleavingReplayIdentity();
+  pqs::TestFlightRecorderCarriesTxnEvents();
+  pqs::TestHuntBugDetectsTransactionBugs();
+  pqs::TestDifferentialTxnSweepVsSqlite();
+  return pqs::test::Summary("test_txn_mvcc");
+}
